@@ -1,0 +1,174 @@
+"""Ablations of Parallaft's design choices (DESIGN.md's list).
+
+Each ablation disables one mechanism the paper argues for and shows the
+failure/cost that motivates it:
+
+* branch counters (deterministic) vs the raw instruction counter
+  (nondeterministic overcount, paper §4.2.1) for execution points;
+* the skid buffer in execution-point replay (paper §4.2.2);
+* dirty-page hashing vs full-memory comparison (paper §4.4);
+* checker migration + DVFS pacing (paper §4.5).
+"""
+
+from conftest import print_rows
+
+from repro.common.units import BILLION
+from repro.core import (
+    ComparisonStrategy,
+    ExecPointCounter,
+    Parallaft,
+    ParallaftConfig,
+)
+from repro.harness.periods import effective_period
+from repro.minic import compile_source
+from repro.sim import apple_m2
+from repro.workloads import benchmark as get_benchmark
+
+SYSCALL_HEAVY = """
+global acc;
+func main() {
+    var i; var j;
+    for (i = 0; i < 40; i = i + 1) {
+        acc = acc + getpid() % 7;
+        for (j = 0; j < 3000; j = j + 1) { acc = acc + j; }
+    }
+    print_int(acc % 100000);
+}
+"""
+
+
+def _run_with(config, source=SYSCALL_HEAVY, seed=0):
+    runtime = Parallaft(compile_source(source), config=config,
+                        platform=apple_m2(), seed=seed)
+    return runtime.run()
+
+
+def test_ablation_instruction_counter_misreplays(benchmark):
+    """Replaying to instruction counts fails where branch counts succeed:
+    the instruction counter overcounts nondeterministically at every trap
+    (the paper's whole reason for branch counters)."""
+
+    def experiment():
+        outcomes = {}
+        for counter in (ExecPointCounter.BRANCHES,
+                        ExecPointCounter.INSTRUCTIONS):
+            failures = 0
+            for seed in range(3):
+                config = ParallaftConfig()
+                config.slicing_period = 150_000_000
+                config.exec_point_counter = counter
+                stats = _run_with(config, seed=seed)
+                if stats.error_detected:
+                    failures += 1
+            outcomes[counter.value] = failures
+        return outcomes
+
+    outcomes = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_rows("Ablation: exec-point counter choice",
+               [f"{k}: {v}/3 runs with false positives"
+                for k, v in outcomes.items()],
+               "branch counters are deterministic; instruction "
+               "counters overcount (§4.2.1)")
+    assert outcomes["branches"] == 0
+    assert outcomes["instructions"] > 0
+
+
+def test_ablation_skid_buffer(benchmark):
+    """Without the skid buffer, counter-overflow skid makes the checker
+    overrun the recorded execution point (paper §4.2.2, figure 3)."""
+
+    def experiment():
+        results = {}
+        for buffer_branches in (0, 64):
+            failures = 0
+            for seed in range(3):
+                config = ParallaftConfig()
+                config.slicing_period = 150_000_000
+                config.skid_buffer_branches = buffer_branches
+                stats = _run_with(config, seed=seed)
+                if any(e.kind == "exec_point_overrun"
+                       for e in stats.errors):
+                    failures += 1
+            results[buffer_branches] = failures
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print_rows("Ablation: skid buffer",
+               [f"buffer={k} branches: {v}/3 runs overran the target"
+                for k, v in results.items()],
+               "stopping short of the target absorbs skid")
+    assert results[64] == 0
+    assert results[0] > 0
+
+
+def test_ablation_dirty_hash_vs_full_memory(benchmark):
+    """Comparing only dirty pages is much cheaper than hashing all mapped
+    memory, with identical verdicts (paper §4.4)."""
+    bench = get_benchmark("sjeng")
+    source, files = bench.build(1, 1)
+
+    def run(strategy):
+        config = ParallaftConfig()
+        config.slicing_period = effective_period(5 * BILLION)
+        config.comparison = strategy
+        runtime = Parallaft(compile_source(source), config=config,
+                            platform=apple_m2(), files=files)
+        stats = runtime.run()
+        assert not stats.error_detected
+        return stats
+
+    def experiment():
+        return (run(ComparisonStrategy.DIRTY_HASH),
+                run(ComparisonStrategy.FULL_MEMORY))
+
+    hashed, full = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    # Hashing costs land in the checkers' system time (the injected hasher
+    # plus kernel page walks); user time is the replay itself.
+    print_rows("Ablation: state-comparison strategy", [
+        f"dirty-hash:  checker sys time {hashed.checker_sys_time:.3f}s",
+        f"full-memory: checker sys time {full.checker_sys_time:.3f}s",
+    ], "hash only modified pages (§4.4)")
+    assert full.checker_sys_time > 1.5 * hashed.checker_sys_time
+
+
+def test_ablation_migration_and_pacer(benchmark):
+    """Without big-core migration, slow checkers pile up and the
+    last-checker wait balloons; without the DVFS pacer, little cores run
+    flat-out and burn energy (paper §4.5)."""
+    bench = get_benchmark("lbm")
+    source, files = bench.build(1, 1)
+
+    def run(migration, pacer):
+        config = ParallaftConfig()
+        config.slicing_period = effective_period(5 * BILLION)
+        config.enable_migration = migration
+        config.enable_dvfs_pacer = pacer
+        runtime = Parallaft(compile_source(source), config=config,
+                            platform=apple_m2(), files=files)
+        stats = runtime.run()
+        assert not stats.error_detected
+        return stats
+
+    def experiment():
+        return {
+            "full": run(True, True),
+            "no_migration": run(False, True),
+            "no_pacer": run(True, False),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [f"{name:13s} wall {s.all_wall_time:6.2f}s  "
+            f"energy {s.energy_joules:7.1f}J  "
+            f"migrations {s.checker_migrations}"
+            for name, s in results.items()]
+    print_rows("Ablation: checker scheduling/pacing (lbm)", rows,
+               "migration bounds the checker lag; pacing saves energy")
+
+    # Migration keeps the wall time down on the worst-case benchmark.
+    assert results["no_migration"].all_wall_time > \
+        1.05 * results["full"].all_wall_time
+    assert results["no_migration"].checker_migrations == 0
+    # The pacer saves energy relative to running little cores flat-out
+    # (allow a little slack: lbm keeps littles busy either way).
+    assert results["full"].energy_joules <= \
+        1.02 * results["no_pacer"].energy_joules

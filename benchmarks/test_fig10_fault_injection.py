@@ -1,0 +1,128 @@
+"""Figure 10: fault-injection results.
+
+Paper result: across SPEC CPU2006, on average 43.3% of injected register
+bit flips are benign (no observable effect); *every* non-benign fault is
+detected — via state comparison (detected), a checker exception, or the
+1.1x instruction-budget timeout.  100% coverage of single-event upsets in
+user-space execution.
+"""
+
+import pytest
+from conftest import injections_per_segment, print_rows
+
+from repro.common.units import BILLION
+from repro.faults import Outcome
+from repro.harness.figures import injection_summary, run_fault_injection
+
+#: A period giving a handful of segments per run keeps the campaign's
+#: full-program-per-injection cost manageable.
+CAMPAIGN_PERIOD = 20 * BILLION
+CAMPAIGN_BENCHMARKS = ("bzip2", "gobmk", "sphinx3", "mcf")
+MAX_SEGMENTS = 4
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return run_fault_injection(names=CAMPAIGN_BENCHMARKS,
+                               injections_per_segment=injections_per_segment(),
+                               paper_period=CAMPAIGN_PERIOD,
+                               max_segments=MAX_SEGMENTS)
+
+
+def test_fig10_fault_injection(benchmark, campaigns):
+    result = benchmark.pedantic(lambda: campaigns, rounds=1, iterations=1)
+
+    rows = []
+    for name, campaign in sorted(result.items()):
+        summary = campaign.summary()
+        rows.append(
+            f"{name:12s} n={campaign.total:3d}  "
+            f"detected {100 * summary['detected']:5.1f}%  "
+            f"exception {100 * summary['exception']:5.1f}%  "
+            f"timeout {100 * summary['timeout']:5.1f}%  "
+            f"benign {100 * summary['benign']:5.1f}%")
+    overall = injection_summary(result)
+    rows.append(f"{'OVERALL':12s}       "
+                f"detected {100 * overall['detected']:5.1f}%  "
+                f"exception {100 * overall['exception']:5.1f}%  "
+                f"timeout {100 * overall['timeout']:5.1f}%  "
+                f"benign {100 * overall['benign']:5.1f}%")
+    print_rows("Figure 10: fault injection outcomes", rows,
+               "43.3% benign on average; all other faults detected")
+
+    total = sum(c.total for c in result.values())
+    assert total >= 16, "campaign too small to be meaningful"
+
+    # Shape criteria:
+    # 1. Outcomes partition completely: benign + detected classes = 100%.
+    assert sum(overall.values()) == pytest.approx(1.0)
+    # 2. A benign fraction exists (flips masked by register overwrites
+    #    before the segment-end comparison).  Ours is well below the
+    #    paper's 43.3%: mini-C binaries use a small register subset, so
+    #    flips in never-rewritten FP/vector registers survive to the
+    #    bit-exact comparison, whereas real SPEC binaries continuously
+    #    rewrite those registers through vectorized libc code.  See
+    #    EXPERIMENTS.md.
+    assert 0.02 < overall["benign"] < 0.6
+    # 3. Every non-benign outcome is a *detection* - nothing corrupted the
+    #    program output silently (the injector classifies an output
+    #    mismatch without a runtime error as DETECTED; assert none).
+    for campaign in result.values():
+        for injection in campaign.injections:
+            assert injection.outcome in (Outcome.BENIGN, Outcome.DETECTED,
+                                         Outcome.EXCEPTION, Outcome.TIMEOUT)
+    # 4. More than one detection mechanism fires across the campaign
+    #    (state compare plus exceptions and/or timeouts).
+    mechanisms = {i.outcome for c in result.values() for i in c.injections
+                  if i.outcome is not Outcome.BENIGN}
+    assert len(mechanisms) >= 2, mechanisms
+
+
+def test_fig10_overwrite_masking(benchmark):
+    """The paper's benign class comes from flips masked by register
+    overwrites before the comparison point: flips targeted at the
+    constantly-rewritten integer temporaries are benign far more often
+    than flips across the whole (mostly idle) register space."""
+    from repro.faults import FaultInjector
+    from repro.harness.figures import _period_config
+    from repro.minic import compile_source
+    from repro.sim import platform_by_name
+    from repro.workloads import benchmark as get_benchmark
+
+    def campaign_with_sites(sites, n):
+        bench = get_benchmark("bzip2")
+        source, files = bench.build(1, 1)
+        injector = FaultInjector(
+            compile_source(source),
+            config_factory=lambda: _period_config(CAMPAIGN_PERIOD),
+            platform_factory=lambda: platform_by_name("apple_m2"),
+            files=files, seed=5)
+        injector._sites = sites
+        return injector.run_campaign(injections_per_segment=n,
+                                     max_segments=3,
+                                     benchmark_name="bzip2")
+
+    # Hot sites: the caller-saved integer temporaries, overwritten every
+    # few instructions by compiled code.
+    hot = [("gpr", r, b) for r in range(1, 7) for b in range(64)]
+    # Cold sites: vector registers this program never touches.
+    cold = [("vec", r, b) for r in range(4) for b in range(256)]
+
+    def experiment():
+        return (campaign_with_sites(hot, 4), campaign_with_sites(cold, 4))
+
+    hot_campaign, cold_campaign = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+    print_rows("Figure 10 mechanism: overwrite masking", [
+        f"hot integer temps: benign "
+        f"{100 * hot_campaign.fraction(Outcome.BENIGN):.0f}% of "
+        f"{hot_campaign.total}",
+        f"cold vector regs:  benign "
+        f"{100 * cold_campaign.fraction(Outcome.BENIGN):.0f}% of "
+        f"{cold_campaign.total}",
+    ], "benign faults are overwritten before the comparison point")
+    assert hot_campaign.fraction(Outcome.BENIGN) > \
+        cold_campaign.fraction(Outcome.BENIGN)
+    # Cold-register flips are essentially always detected (they survive to
+    # the bit-exact register comparison).
+    assert cold_campaign.fraction(Outcome.BENIGN) < 0.15

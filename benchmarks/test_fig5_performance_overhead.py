@@ -1,0 +1,47 @@
+"""Figure 5: performance overhead of Parallaft and RAFT.
+
+Paper result: Parallaft geomean 15.9%, RAFT 16.2% — comparable performance,
+with memory-intensive benchmarks (mcf, milc, lbm) the most expensive for
+both systems.
+"""
+
+from conftest import print_rows
+
+PAPER_PARALLAFT_GEOMEAN = 15.9
+PAPER_RAFT_GEOMEAN = 16.2
+
+
+def test_fig5_performance_overhead(benchmark, suite_cache):
+    comparison = benchmark.pedantic(
+        lambda: suite_cache.get_comparison(sample_memory=True),
+        rounds=1, iterations=1)
+
+    para = comparison.perf_overheads("parallaft")
+    raft = comparison.perf_overheads("raft")
+    rows = [f"{name:12s} parallaft +{para[name]:6.1f}%   "
+            f"raft +{raft[name]:6.1f}%" for name in sorted(para)]
+    rows.append(f"{'GEOMEAN':12s} parallaft +{comparison.perf_geomean('parallaft'):6.1f}%   "
+                f"raft +{comparison.perf_geomean('raft'):6.1f}%")
+    print_rows("Figure 5: performance overhead", rows,
+               f"Parallaft {PAPER_PARALLAFT_GEOMEAN}%, "
+               f"RAFT {PAPER_RAFT_GEOMEAN}%")
+
+    para_geo = comparison.perf_geomean("parallaft")
+    raft_geo = comparison.perf_geomean("raft")
+
+    # Shape criteria (EXPERIMENTS.md):
+    # 1. Both overheads are small double-digit percentages, same ballpark
+    #    as the paper's 15.9% / 16.2%.
+    assert 5.0 < para_geo < 35.0
+    assert 5.0 < raft_geo < 35.0
+    # 2. Parallaft's overhead is comparable to RAFT's (within a factor ~2).
+    assert para_geo < 2.2 * raft_geo + 5
+    # 3. The memory-intensive benchmarks are the expensive ones for
+    #    Parallaft: every one of mcf/milc/lbm costs more than every
+    #    compute-bound benchmark.
+    for heavy in ("mcf", "milc", "lbm"):
+        for light in ("sjeng",):
+            assert para[heavy] > para[light], (heavy, light)
+    # 4. Compute-bound benchmarks are cheap under both systems.
+    assert para["sjeng"] < 12.0
+    assert raft["sjeng"] < 12.0

@@ -1,0 +1,55 @@
+"""Figure 6: Parallaft performance-overhead breakdown.
+
+Paper result: for most benchmarks, resource contention and fork-and-COW
+dominate; last-checker sync matters for benchmarks split into multiple
+short processes (bzip2, gcc, soplex); runtime work is small everywhere.
+"""
+
+from conftest import print_rows, suite_names
+
+from repro.harness.overhead import breakdown
+
+
+def test_fig6_overhead_breakdown(benchmark, suite_cache):
+    comparison = benchmark.pedantic(
+        lambda: suite_cache.get_comparison(sample_memory=True),
+        rounds=1, iterations=1)
+
+    breakdowns = {
+        name: breakdown(comparison.parallaft[name],
+                        comparison.baseline[name])
+        for name in comparison.parallaft
+    }
+    rows = [
+        f"{name:12s} total {bd.total_pct:6.1f}%  "
+        f"fork+cow {bd.fork_and_cow_pct:5.1f}  "
+        f"contention {bd.resource_contention_pct:5.1f}  "
+        f"last-sync {bd.last_checker_sync_pct:5.1f}  "
+        f"runtime {bd.runtime_work_pct:5.1f}"
+        for name, bd in sorted(breakdowns.items())
+    ]
+    print_rows("Figure 6: Parallaft overhead breakdown", rows,
+               "contention and fork+COW dominate; sync high for "
+               "multi-input benchmarks (bzip2/gcc/soplex)")
+
+    # Components must (by construction) sum to the total.
+    for name, bd in breakdowns.items():
+        parts = (bd.fork_and_cow_pct + bd.resource_contention_pct
+                 + bd.last_checker_sync_pct + bd.runtime_work_pct)
+        assert abs(parts - bd.total_pct) < 1e-6, name
+
+    # Shape criteria:
+    # 1. Memory-intensive benchmarks have the highest fork+COW or
+    #    contention components.
+    assert breakdowns["mcf"].fork_and_cow_pct > \
+        breakdowns["sjeng"].fork_and_cow_pct
+    assert breakdowns["lbm"].resource_contention_pct > \
+        breakdowns["sjeng"].resource_contention_pct + 5
+    # 2. Benchmarks split into many short processes show elevated
+    #    last-checker sync (paper: bzip2, gcc, soplex).
+    multi_short = [breakdowns[n].last_checker_sync_pct
+                   for n in ("bzip2", "gcc", "soplex")]
+    assert max(multi_short) > breakdowns["sjeng"].last_checker_sync_pct
+    # 3. Runtime work is a small component everywhere.
+    for name, bd in breakdowns.items():
+        assert abs(bd.runtime_work_pct) < 10.0, name

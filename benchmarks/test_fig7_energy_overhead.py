@@ -1,0 +1,45 @@
+"""Figure 7: energy overhead of Parallaft and RAFT.
+
+Paper result: Parallaft 44.3% geomean vs RAFT 87.8% — about half, because
+checkers run on energy-efficient little cores while RAFT's checker burns a
+second big core.  lbm is the sole exception (checkers do half their work on
+big cores to keep up), costing Parallaft more energy than RAFT.
+"""
+
+from conftest import print_rows
+
+PAPER_PARALLAFT = 44.3
+PAPER_RAFT = 87.8
+
+
+def test_fig7_energy_overhead(benchmark, suite_cache):
+    comparison = benchmark.pedantic(
+        lambda: suite_cache.get_comparison(sample_memory=True),
+        rounds=1, iterations=1)
+
+    para = comparison.energy_overheads("parallaft")
+    raft = comparison.energy_overheads("raft")
+    rows = [f"{name:12s} parallaft +{para[name]:6.1f}%   "
+            f"raft +{raft[name]:6.1f}%" for name in sorted(para)]
+    para_geo = comparison.energy_geomean("parallaft")
+    raft_geo = comparison.energy_geomean("raft")
+    rows.append(f"{'GEOMEAN':12s} parallaft +{para_geo:6.1f}%   "
+                f"raft +{raft_geo:6.1f}%")
+    print_rows("Figure 7: energy overhead", rows,
+               f"Parallaft {PAPER_PARALLAFT}%, RAFT {PAPER_RAFT}% "
+               "(about half); lbm the only Parallaft loss")
+
+    # Shape criteria:
+    # 1. RAFT's energy overhead approaches a doubled machine (the paper's
+    #    ~88%): well above 60%.
+    assert raft_geo > 60.0
+    # 2. Parallaft costs roughly half of RAFT's energy overhead.
+    assert para_geo < 0.72 * raft_geo
+    # 3. Little cores win on every compute-bound benchmark by a wide
+    #    margin.
+    for light in ("sjeng", "bzip2"):
+        assert para[light] < 0.5 * raft[light], light
+    # 4. lbm is Parallaft's worst energy case and beats RAFT nowhere near
+    #    as clearly as the others (paper: the only outright loss).
+    assert para["lbm"] == max(para.values())
+    assert para["lbm"] > 0.85 * raft["lbm"]

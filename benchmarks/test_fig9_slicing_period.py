@@ -1,0 +1,62 @@
+"""Figure 9: slicing-period performance tradeoffs (gcc / mcf / sjeng).
+
+Paper result:
+  (a) fork+COW overhead falls as the period grows (fewer checkpoints and
+      fewer COW rounds), most steeply for memory-intensive mcf;
+  (b) last-checker-sync overhead rises with the period (more lag between
+      main and checkers), prominent for short-input gcc and slow-checker
+      mcf, while long-running sjeng is nearly insensitive;
+  (c) the combination gives each benchmark a sweet spot: gcc 2B, mcf 5B,
+      sjeng 20B cycles.
+"""
+
+import pytest
+from conftest import print_rows
+
+from repro.common.units import BILLION
+from repro.harness.figures import run_period_sweep, sweet_spot
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_period_sweep()
+
+
+def test_fig9_period_sweep(benchmark, sweep):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    for name, points in result.items():
+        rows = [f"{p.label:10s} total {p.total_pct:5.1f}%  "
+                f"fork+cow {p.fork_and_cow_pct:5.1f}%  "
+                f"last-sync {p.last_checker_sync_pct:5.1f}%"
+                for p in points]
+        rows.append(f"sweet spot: {sweet_spot(points) / BILLION:g}B")
+        print_rows(f"Figure 9: {name}", rows,
+                   "sweet spots gcc 2B / mcf 5B / sjeng 20B")
+
+    gcc, mcf, sjeng = result["gcc"], result["mcf"], result["sjeng"]
+
+    # (a) fork+COW decreases monotonically with the period, for all three.
+    for points in (gcc, mcf, sjeng):
+        fc = [p.fork_and_cow_pct for p in points]
+        assert all(a >= b - 0.5 for a, b in zip(fc, fc[1:])), fc
+    # mcf's fork+COW is the steepest (most pages COWed per segment).
+    assert mcf[0].fork_and_cow_pct > gcc[0].fork_and_cow_pct
+    assert mcf[0].fork_and_cow_pct > sjeng[0].fork_and_cow_pct
+
+    # (b) last-checker sync grows with the period for gcc and mcf...
+    for points in (gcc, mcf):
+        assert points[-1].last_checker_sync_pct > \
+            points[0].last_checker_sync_pct
+    # ... gcc (many short inputs) has the most sync of the trio ...
+    assert gcc[-1].last_checker_sync_pct > mcf[-1].last_checker_sync_pct
+    assert gcc[-1].last_checker_sync_pct > sjeng[-1].last_checker_sync_pct
+    # ... and sjeng (longest run, fast checkers) stays nearly flat.
+    sjeng_range = (max(p.last_checker_sync_pct for p in sjeng)
+                   - min(p.last_checker_sync_pct for p in sjeng))
+    assert sjeng_range < 6.0
+
+    # (c) interior sweet spots in the paper's ordering: gcc earliest.
+    assert sweet_spot(gcc) <= 2 * BILLION
+    assert sweet_spot(mcf) >= 5 * BILLION
+    assert sweet_spot(sjeng) >= 5 * BILLION
+    assert sweet_spot(gcc) < sweet_spot(mcf)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Slicing-period tradeoff study (paper §5.5, figure 9).
+
+Sweeps the checkpoint period on one benchmark and prints the overhead
+decomposition at each point: short periods pay for forking and
+copy-on-write, long periods pay for waiting on the last checkers, and
+somewhere in between sits the sweet spot.
+
+    python examples/slicing_tradeoff.py [benchmark]
+"""
+
+import sys
+
+from repro.common.units import BILLION
+from repro.harness.figures import run_period_sweep, sweet_spot
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    print(f"sweeping the slicing period on {name} "
+          "(paper-equivalent periods)\n")
+    sweep = run_period_sweep(names=(name,))
+    points = sweep[name]
+
+    print(f"{'period':>10s} {'total':>8s} {'fork+COW':>9s} {'last-sync':>10s}")
+    for p in points:
+        bar = "#" * max(1, int(p.total_pct / 2))
+        print(f"{p.label:>10s} {p.total_pct:7.1f}% {p.fork_and_cow_pct:8.1f}% "
+              f"{p.last_checker_sync_pct:9.1f}%  {bar}")
+
+    best = sweet_spot(points)
+    print(f"\nsweet spot: {best / BILLION:g} billion cycles")
+    print("(paper's figure 9: gcc 2B, mcf 5B, sjeng 20B - short-input "
+          "benchmarks\n want short periods, memory-heavy ones want to "
+          "amortize COW, long\n compute-bound ones barely care)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Full-suite calibration sweep: fig5/6/7-style numbers for every benchmark.
+
+Usage: python scripts/calibrate.py [platform]
+"""
+
+import sys
+import time
+
+from repro.common.units import BILLION
+from repro.core import ParallaftConfig
+from repro.harness import (
+    breakdown,
+    energy_overhead_pct,
+    overhead_pct,
+    run_baseline,
+    run_protected,
+    suite_geomean,
+)
+from repro.harness.periods import effective_period
+from repro.sim import platform_by_name
+from repro.workloads import all_benchmarks
+
+
+def main() -> None:
+    platform_name = sys.argv[1] if len(sys.argv) > 1 else "apple_m2"
+    perf_p, perf_r, energy_p, energy_r = {}, {}, {}, {}
+    t0 = time.time()
+    for name, bench in sorted(all_benchmarks().items()):
+        platform = platform_by_name(platform_name)
+        base = run_baseline(bench, platform=platform_by_name(platform_name))
+        cfg = ParallaftConfig()
+        cfg.slicing_period = effective_period(5 * BILLION)
+        para = run_protected(bench, "parallaft", config=cfg,
+                             platform=platform_by_name(platform_name))
+        raft = run_protected(bench, "raft",
+                             platform=platform_by_name(platform_name))
+        bd = breakdown(para, base)
+        st = para.inputs[-1].stats
+        perf_p[name] = overhead_pct(para, base)
+        perf_r[name] = overhead_pct(raft, base)
+        energy_p[name] = energy_overhead_pct(para, base)
+        energy_r[name] = energy_overhead_pct(raft, base)
+        print(f"{name:12s} P+{perf_p[name]:5.1f}% R+{perf_r[name]:5.1f}% | "
+              f"E P+{energy_p[name]:5.1f}% R+{energy_r[name]:5.1f}% | "
+              f"f+c {bd.fork_and_cow_pct:4.1f} ct {bd.resource_contention_pct:4.1f} "
+              f"sy {bd.last_checker_sync_pct:4.1f} rt {bd.runtime_work_pct:4.1f} | "
+              f"mig {st.checker_migrations:3d} big% {100*st.big_core_work_fraction:4.1f}",
+              flush=True)
+    print("-" * 100)
+    print(f"GEOMEAN perf: parallaft +{suite_geomean(perf_p):.1f}% (paper 15.9) "
+          f"raft +{suite_geomean(perf_r):.1f}% (paper 16.2)")
+    print(f"GEOMEAN energy: parallaft +{suite_geomean(energy_p):.1f}% (paper 44.3) "
+          f"raft +{suite_geomean(energy_r):.1f}% (paper 87.8)")
+    print(f"[{time.time()-t0:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Reproduce the paper's full evaluation and print every table/figure.
+
+Equivalent to the artifact's run.sh + plot.sh, but prints text tables
+instead of gnuplot figures.
+
+    python scripts/reproduce_all.py [--full] [--platform apple_m2]
+"""
+
+import argparse
+import time
+
+from repro.harness import (
+    render_breakdown,
+    render_injection,
+    render_memory,
+    render_overheads,
+    render_period_sweep,
+)
+from repro.harness.figures import (
+    run_fault_injection,
+    run_overhead_breakdown,
+    run_period_sweep,
+    run_suite_comparison,
+    run_syscall_signal_stress,
+)
+
+NAMED_SUBSET = ("bzip2", "gcc", "mcf", "milc", "libquantum", "lbm",
+                "sjeng", "soplex")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="all 16 benchmarks (default: the 8 the paper names)")
+    parser.add_argument("--platform", default="apple_m2",
+                        choices=["apple_m2", "intel_14700"])
+    args = parser.parse_args()
+    names = None if args.full else NAMED_SUBSET
+    started = time.time()
+
+    print("== Figures 5/7/8: suite comparison ==", flush=True)
+    comparison = run_suite_comparison(platform_name=args.platform,
+                                      names=names, sample_memory=True)
+    print(render_overheads(comparison, "perf"))
+    print()
+    print(render_overheads(comparison, "energy"))
+    print()
+    print(render_memory(comparison))
+
+    print("\n== Figure 6: overhead breakdown ==", flush=True)
+    print(render_breakdown(run_overhead_breakdown(
+        platform_name=args.platform, names=names)))
+
+    print("\n== Figure 9: slicing-period sweep (gcc/mcf/sjeng) ==",
+          flush=True)
+    print(render_period_sweep(run_period_sweep(
+        platform_name=args.platform)))
+
+    print("\n== Figure 10: fault injection (sampled) ==", flush=True)
+    print(render_injection(run_fault_injection(
+        names=("bzip2", "gobmk", "sphinx3", "mcf"),
+        injections_per_segment=2, paper_period=20e9, max_segments=4,
+        platform_name=args.platform)))
+
+    print("\n== Section 5.7: syscall/signal stress ==", flush=True)
+    for name, result in run_syscall_signal_stress(
+            platform_name=args.platform).items():
+        print(f"  {name:10s} {result.slowdown:7.1f}x")
+
+    print(f"\n[complete in {time.time() - started:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+With no [build-system] table in pyproject.toml, pip falls back to the legacy
+`setup.py develop` path for editable installs, which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""The machine/OS ABI: syscall numbers, signal numbers, calling convention.
+
+Shared by the kernel (dispatch), the mini-C compiler (intrinsic codegen),
+the Parallaft syscall model (classification and memory effects) and tests.
+
+Calling convention
+------------------
+* syscalls: number in ``r0``, arguments in ``r1``–``r5``, result in ``r0``
+  (negative values are ``-errno``);
+* functions: integer arguments in ``r1``–``r6``, floats in ``f0``–``f5``,
+  integer results in ``r0``, float results in ``f0``; ``r7``–``r12`` are
+  callee-saved; ``r13``/``r14``/``r15`` are ``sp``/``lr``/``fp``.
+"""
+
+from __future__ import annotations
+
+# -- syscall numbers (Linux-flavoured) ---------------------------------------
+
+SYS_READ = 0
+SYS_WRITE = 1
+SYS_OPEN = 2
+SYS_CLOSE = 3
+SYS_MMAP = 9
+SYS_MPROTECT = 10
+SYS_MUNMAP = 11
+SYS_BRK = 12
+SYS_SIGACTION = 13
+SYS_GETPID = 39
+SYS_EXIT = 60
+SYS_KILL = 62
+SYS_GETTIMEOFDAY = 96
+SYS_PRCTL = 157
+SYS_GETRANDOM = 318
+
+SYSCALL_NAMES = {
+    SYS_READ: "read",
+    SYS_WRITE: "write",
+    SYS_OPEN: "open",
+    SYS_CLOSE: "close",
+    SYS_MMAP: "mmap",
+    SYS_MPROTECT: "mprotect",
+    SYS_MUNMAP: "munmap",
+    SYS_BRK: "brk",
+    SYS_SIGACTION: "sigaction",
+    SYS_GETPID: "getpid",
+    SYS_EXIT: "exit",
+    SYS_KILL: "kill",
+    SYS_GETTIMEOFDAY: "gettimeofday",
+    SYS_PRCTL: "prctl",
+    SYS_GETRANDOM: "getrandom",
+}
+
+# -- errno values -------------------------------------------------------------
+
+EBADF = 9
+EFAULT = 14
+EINVAL = 22
+ENOSYS = 38
+ENOENT = 2
+
+# -- mmap flags/prot shared with repro.mem ------------------------------------
+
+# (numeric values re-exported so compiled programs can use them as literals)
+PROT_NONE = 0
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_EXEC = 4
+MAP_PRIVATE = 1
+MAP_SHARED = 2
+MAP_ANONYMOUS = 4
+MAP_FIXED = 8
+
+# -- signals -------------------------------------------------------------------
+
+SIGHUP = 1
+SIGINT = 2
+SIGILL = 4
+SIGTRAP = 5
+SIGFPE = 8
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGTERM = 15
+
+SIGNAL_NAMES = {
+    SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGILL: "SIGILL",
+    SIGTRAP: "SIGTRAP", SIGFPE: "SIGFPE", SIGKILL: "SIGKILL",
+    SIGUSR1: "SIGUSR1", SIGSEGV: "SIGSEGV", SIGUSR2: "SIGUSR2",
+    SIGTERM: "SIGTERM",
+}
+
+#: Signals whose default action terminates the process.
+FATAL_SIGNALS = frozenset({SIGHUP, SIGINT, SIGILL, SIGTRAP, SIGFPE, SIGKILL,
+                           SIGSEGV, SIGTERM})
+
+# -- file descriptors -----------------------------------------------------------
+
+STDIN = 0
+STDOUT = 1
+STDERR = 2

@@ -1,0 +1,51 @@
+"""Shared utilities: error types, units/scaling, deterministic RNG streams."""
+
+from repro.common.errors import (
+    AssemblerError,
+    CompileError,
+    KernelError,
+    MemoryError_,
+    MismatchError,
+    PtraceError,
+    ReproError,
+    RuntimeConfigError,
+    SimulationError,
+)
+from repro.common.rng import RngPool
+from repro.common.units import (
+    BILLION,
+    DEFAULT_CYCLE_SCALE,
+    GHZ,
+    MHZ,
+    cycles_to_seconds,
+    format_cycles,
+    geomean,
+    geomean_overhead_pct,
+    hw_to_virtual_cycles,
+    seconds_to_cycles,
+    virtual_to_hw_cycles,
+)
+
+__all__ = [
+    "AssemblerError",
+    "CompileError",
+    "KernelError",
+    "MemoryError_",
+    "MismatchError",
+    "PtraceError",
+    "ReproError",
+    "RuntimeConfigError",
+    "SimulationError",
+    "RngPool",
+    "BILLION",
+    "DEFAULT_CYCLE_SCALE",
+    "GHZ",
+    "MHZ",
+    "cycles_to_seconds",
+    "format_cycles",
+    "geomean",
+    "geomean_overhead_pct",
+    "hw_to_virtual_cycles",
+    "seconds_to_cycles",
+    "virtual_to_hw_cycles",
+]

@@ -1,0 +1,60 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+distinguish simulator bugs (plain Python exceptions) from modelled machine
+behaviour (these).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly source."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class CompileError(ReproError):
+    """Malformed mini-C source."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class MemoryError_(ReproError):
+    """Invalid memory operation at the address-space level (bad mmap etc.)."""
+
+
+class KernelError(ReproError):
+    """Invalid kernel API usage (bad pid, bad ptrace request, ...)."""
+
+
+class PtraceError(KernelError):
+    """Invalid ptrace operation (e.g. tracee not stopped)."""
+
+
+class SimulationError(ReproError):
+    """The co-simulation reached an inconsistent state."""
+
+
+class RuntimeConfigError(ReproError):
+    """Invalid Parallaft/RAFT runtime configuration."""
+
+
+class MismatchError(ReproError):
+    """Program-state comparison found a divergence (an error was detected).
+
+    Carries a :class:`~repro.core.comparator.ComparisonResult`-like payload in
+    ``detail`` describing what diverged.
+    """
+
+    def __init__(self, message: str, detail=None):
+        super().__init__(message)
+        self.detail = detail

@@ -1,0 +1,45 @@
+"""Deterministic random-number helpers.
+
+Every source of modelled nondeterminism (ASLR, perf-counter skid, instruction
+overcount, fault injection) draws from its own named stream so experiments
+are reproducible and streams do not perturb each other when one subsystem
+changes how much randomness it consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class RngPool:
+    """A pool of independently-seeded named random streams."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The stream seed mixes the pool seed with a hash of the name, so two
+        pools with the same seed produce identical streams and distinct names
+        produce decorrelated streams.
+        """
+        if name not in self._streams:
+            mixed = (self._seed * 0x9E3779B97F4A7C15 + _fnv1a(name)) & 0xFFFFFFFFFFFFFFFF
+            self._streams[name] = random.Random(mixed)
+        return self._streams[name]
+
+
+def _fnv1a(text: str) -> int:
+    """64-bit FNV-1a hash of a string (stable across Python runs, unlike hash())."""
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

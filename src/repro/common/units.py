@@ -1,0 +1,72 @@
+"""Units and scaling helpers.
+
+The simulator runs *virtual* cycles: one virtual cycle stands for
+``cycle_scale`` hardware cycles (default 100 000).  All user-facing numbers
+(slicing periods, frequencies) are expressed in hardware units; conversion
+to/from virtual units happens at the platform boundary via these helpers.
+"""
+
+from __future__ import annotations
+
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+BILLION = 1_000_000_000
+
+#: Default number of hardware cycles represented by one virtual cycle.
+DEFAULT_CYCLE_SCALE = 100_000
+
+
+def hw_to_virtual_cycles(hw_cycles: float, cycle_scale: int = DEFAULT_CYCLE_SCALE) -> int:
+    """Convert a hardware cycle count (e.g. the paper's 5e9 slicing period)
+    to virtual cycles, rounding to at least one cycle."""
+    return max(1, round(hw_cycles / cycle_scale))
+
+
+def virtual_to_hw_cycles(virtual_cycles: float, cycle_scale: int = DEFAULT_CYCLE_SCALE) -> float:
+    """Convert virtual cycles back to hardware cycles for reporting."""
+    return virtual_cycles * cycle_scale
+
+
+def cycles_to_seconds(hw_cycles: float, frequency_hz: float) -> float:
+    """Wall-clock seconds for ``hw_cycles`` hardware cycles at ``frequency_hz``."""
+    return hw_cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    return seconds * frequency_hz
+
+
+def format_cycles(hw_cycles: float) -> str:
+    """Human-readable hardware cycle count, paper-style ("5 billion")."""
+    if hw_cycles >= BILLION:
+        value = hw_cycles / BILLION
+        return f"{value:g} billion"
+    if hw_cycles >= 1_000_000:
+        return f"{hw_cycles / 1_000_000:g} million"
+    return f"{hw_cycles:g}"
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (paper-style overhead aggregation)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def geomean_overhead_pct(overheads_pct) -> float:
+    """Geometric mean of percentage overheads, aggregated as ratios.
+
+    The paper reports e.g. "geometric mean performance overhead of 15.9%";
+    the convention is geomean over per-benchmark ratios (1 + overhead), minus
+    one.
+    """
+    ratios = [1.0 + pct / 100.0 for pct in overheads_pct]
+    return (geomean(ratios) - 1.0) * 100.0

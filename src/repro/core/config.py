@@ -1,0 +1,140 @@
+"""Parallaft runtime configuration.
+
+Defaults follow the paper: 5-billion-cycle slicing period (§4.1),
+branch-counter execution points with a skid buffer (§4.2), a 1.1x checker
+instruction timeout (§4.2.2), dirty-page hashing with XXH3-64 (§4.4), and
+the checker scheduler/pacer enabled (§4.5).
+
+``RuntimeMode.RAFT`` reconfigures the same runtime the way the paper models
+RAFT (§5.1): no periodic slicing (single segment), checkers on big cores,
+no end-of-segment state comparison or dirty-page tracking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import RuntimeConfigError
+from repro.common.units import BILLION
+
+
+class RuntimeMode(enum.Enum):
+    PARALLAFT = "parallaft"
+    RAFT = "raft"
+
+
+class DirtyPageBackend(enum.Enum):
+    #: x86_64: soft-dirty PTE bits, cleared at segment start (paper §4.4).
+    SOFT_DIRTY = "soft_dirty"
+    #: AArch64: PAGEMAP_SCAN map counting — a page mapped exactly once is
+    #: private, hence modified or new (paper §4.4).
+    MAP_COUNT = "map_count"
+
+
+class ExecPointCounter(enum.Enum):
+    #: Deterministic near-branch counter (the paper's choice, §4.2.1).
+    BRANCHES = "branches"
+    #: Raw instruction counter — overcounts nondeterministically; provided
+    #: for the ablation that shows why branch counters are required.
+    INSTRUCTIONS = "instructions"
+
+
+class ComparisonStrategy(enum.Enum):
+    #: Hash only dirty pages with the injected hasher (paper §4.4).
+    DIRTY_HASH = "dirty_hash"
+    #: Byte-compare every mapped page — the slow strawman for the ablation.
+    FULL_MEMORY = "full_memory"
+
+
+@dataclass
+class ParallaftConfig:
+    mode: RuntimeMode = RuntimeMode.PARALLAFT
+
+    #: Slicing period in *hardware* units; interpreted per ``slicing_unit``.
+    slicing_period: float = 5 * BILLION
+    #: 'cycles' (Apple) or 'instructions' (Intel, paper footnote 14).
+    #: None = use the platform's default.
+    slicing_unit: Optional[str] = None
+
+    #: Branch-count margin the replay stops short by, to absorb
+    #: perf-counter skid (paper §4.2.2).  In simulated branches.
+    skid_buffer_branches: int = 64
+    #: Checker is killed after main_instructions * this scale (paper §4.2.2).
+    checker_timeout_scale: float = 1.1
+    exec_point_counter: ExecPointCounter = ExecPointCounter.BRANCHES
+
+    #: None = pick by platform arch (x86 soft-dirty, aarch64 map-count).
+    dirty_page_backend: Optional[DirtyPageBackend] = None
+    comparison: ComparisonStrategy = ComparisonStrategy.DIRTY_HASH
+    #: Compare registers+memory at segment ends (off in RAFT mode).
+    compare_state: bool = True
+
+    #: Checker scheduler/pacer (paper §4.5).
+    enable_migration: bool = True
+    enable_dvfs_pacer: bool = True
+    #: Pacer safety margin over the estimated required little frequency.
+    pacer_headroom: float = 1.2
+    #: Where checkers run by default: 'little' (Parallaft) or 'big' (RAFT).
+    checker_cluster: str = "little"
+
+    #: Upper bound on concurrently live segments (error-detection latency
+    #: bound, §3.4).  The main stalls when it is reached.
+    max_live_segments: int = 12
+
+    #: Stop the whole application when an error is detected (§4.4).
+    stop_on_error: bool = True
+
+    # -- extensions beyond the paper's prototype (its stated future work) --
+
+    #: Table 2 "error recovery": retry a failed segment check with a fresh
+    #: checker forked from the (retained) segment-start state.  A transient
+    #: fault in the *checker* disappears on retry; a persistent mismatch
+    #: implicates the main and is reported as an error.
+    retry_failed_checkers: bool = False
+    max_checker_retries: int = 1
+
+    #: Table 2 "error containment in SoR": hold the main at every
+    #: globally-effectful syscall until all previous segments have been
+    #: verified, so no erroneous data ever escapes.  Expensive (the paper
+    #: §3.4 rejects it for exactly that reason — the ablation bench
+    #: measures the cost).
+    error_containment: bool = False
+
+    #: Mask vDSO/rseq fast paths so the program falls back to replayable
+    #: syscalls (paper §4.3.5).  Informational in this substrate (programs
+    #: always use real syscalls), but kept for stats parity.
+    mask_vdso: bool = True
+    mask_rseq: bool = True
+
+    def validate(self) -> None:
+        if self.slicing_period <= 0:
+            raise RuntimeConfigError("slicing_period must be positive")
+        if self.skid_buffer_branches < 0:
+            raise RuntimeConfigError("skid_buffer_branches must be >= 0")
+        if self.checker_timeout_scale <= 1.0:
+            raise RuntimeConfigError(
+                "checker_timeout_scale must exceed 1.0 (counter overcount)")
+        if self.checker_cluster not in ("little", "big"):
+            raise RuntimeConfigError("checker_cluster must be little or big")
+        if self.max_live_segments < 1:
+            raise RuntimeConfigError("max_live_segments must be >= 1")
+        if self.slicing_unit not in (None, "cycles", "instructions"):
+            raise RuntimeConfigError("slicing_unit must be cycles or "
+                                     "instructions")
+        if self.max_checker_retries < 0:
+            raise RuntimeConfigError("max_checker_retries must be >= 0")
+
+    @classmethod
+    def raft(cls) -> "ParallaftConfig":
+        """The paper's RAFT model (§5.1): one segment, big-core checker,
+        no state comparison."""
+        return cls(
+            mode=RuntimeMode.RAFT,
+            slicing_period=float("inf"),
+            compare_state=False,
+            enable_migration=False,
+            enable_dvfs_pacer=False,
+            checker_cluster="big",
+        )

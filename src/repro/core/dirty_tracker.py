@@ -1,0 +1,51 @@
+"""Dirty-page tracking (paper §4.4).
+
+Only modified pages need comparing at a segment end: unmodified pages still
+share physical frames with the checkpoint, so their contents are equal by
+construction.  Two backends, matching the paper:
+
+* ``SOFT_DIRTY`` (x86_64): the kernel's soft-dirty PTE bit; cleared at
+  segment start, read at segment end.
+* ``MAP_COUNT`` (AArch64): the modified ``PAGEMAP_SCAN`` ioctl — a page
+  whose frame is mapped exactly once is private to the process (modified or
+  newly mapped since the last checkpoint fork); a page mapped more than once
+  still shares its frame with checkpoint/checker processes, hence is
+  unmodified.  Requires no clearing pass, but only works while checkpoint
+  forks are alive.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import DirtyPageBackend
+from repro.kernel.process import Process
+
+
+class DirtyPageTracker:
+    def __init__(self, backend: DirtyPageBackend, page_size: int):
+        self.backend = backend
+        self.page_size = page_size
+        #: pages scanned/cleared so far (cost accounting)
+        self.pages_cleared = 0
+        self.pages_scanned = 0
+
+    def begin_segment(self, proc: Process) -> int:
+        """Reset tracking at a segment start; returns pages touched (cost).
+
+        Soft-dirty needs an explicit clearing pass over the page table;
+        map-count needs nothing (the checkpoint fork itself resets sharing).
+        """
+        if self.backend == DirtyPageBackend.SOFT_DIRTY:
+            pages = proc.mem.mapped_pages
+            proc.mem.clear_soft_dirty()
+            self.pages_cleared += pages
+            return pages
+        return 0
+
+    def dirty_vpns(self, proc: Process) -> List[int]:
+        """Pages of ``proc`` modified since its segment began."""
+        self.pages_scanned += proc.mem.mapped_pages
+        if self.backend == DirtyPageBackend.SOFT_DIRTY:
+            return proc.mem.soft_dirty_vpns()
+        return proc.mem.map_count_dirty_vpns()

@@ -1,0 +1,184 @@
+"""Execution-point record and replay (paper §4.2).
+
+An execution point is (PC, number of near branches retired since segment
+start): the PC alone is ambiguous inside loops, but PC + branch count is
+unique, because control flow must pass a branch to revisit a PC (paper
+footnote 5).
+
+Replay (paper §4.2.2, figure 3) arms the checker's branch counter to
+overflow a *skid buffer* short of the target, then sets a hardware
+breakpoint at the target PC and continues, comparing the branch count at
+every breakpoint hit until it equals the target.  Stopping short absorbs
+counter skid; the breakpoint loop walks the remaining iterations precisely.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.core.config import ExecPointCounter
+
+
+class ExecPoint:
+    """A precise point in an execution, relative to its segment start."""
+
+    __slots__ = ("pc", "branches", "instructions")
+
+    def __init__(self, pc: int, branches: int, instructions: int = 0):
+        self.pc = pc
+        self.branches = branches          # near branches since segment start
+        self.instructions = instructions  # (overcounted) instructions, ditto
+
+    def __repr__(self) -> str:
+        return f"ExecPoint(pc={self.pc:#x}, branches={self.branches})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ExecPoint):
+            return NotImplemented
+        return self.pc == other.pc and self.branches == other.branches
+
+    def __hash__(self):
+        return hash((self.pc, self.branches))
+
+
+class ReplayStopKind(enum.Enum):
+    SIGNAL = "signal"        # deliver an external signal here (paper §4.3.3)
+    SEGMENT_END = "segment_end"
+
+
+class ReplayStop:
+    __slots__ = ("point", "kind", "signo")
+
+    def __init__(self, point: ExecPoint, kind: ReplayStopKind,
+                 signo: int = 0):
+        self.point = point
+        self.kind = kind
+        self.signo = signo
+
+
+class ReplayPhase(enum.Enum):
+    IDLE = "idle"
+    WAIT_OVERFLOW = "wait_overflow"
+    WAIT_BREAKPOINT = "wait_breakpoint"
+    DONE = "done"
+
+
+class ReplayOutcome(enum.Enum):
+    RUNNING = "running"
+    REACHED = "reached"
+    OVERRUN = "overrun"      # branch count exceeded target: divergence
+
+
+class ExecPointReplayer:
+    """Drives one checker through an ordered list of replay stops."""
+
+    def __init__(self, proc, stops: List[ReplayStop],
+                 skid_buffer: int,
+                 counter: ExecPointCounter = ExecPointCounter.BRANCHES,
+                 branch_base: Optional[int] = None,
+                 instr_base: Optional[int] = None):
+        self.proc = proc
+        self.stops = sorted(stops, key=lambda s: (s.point.branches,
+                                                  s.kind.value))
+        self.skid_buffer = skid_buffer
+        self.counter = counter
+        # Counter bases: the checker was forked with the main's counter
+        # values at segment start, so relative points are absolute minus
+        # these bases.  Passed explicitly when the checker already ran
+        # before the end point became known (the RAFT model).
+        self.branch_base = (proc.cpu.branches_retired if branch_base is None
+                            else branch_base)
+        self.instr_base = (proc.cpu.read_counter("instructions")
+                           if instr_base is None else instr_base)
+        self.index = 0
+        self.phase = ReplayPhase.IDLE
+        #: perf/breakpoint programming operations performed (cost driver)
+        self.setup_ops = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def current_stop(self) -> Optional[ReplayStop]:
+        if self.index < len(self.stops):
+            return self.stops[self.index]
+        return None
+
+    def _count_now(self) -> int:
+        if self.counter == ExecPointCounter.BRANCHES:
+            return self.proc.cpu.branches_retired - self.branch_base
+        return self.proc.cpu.read_counter("instructions") - self.instr_base
+
+    def _target_of(self, stop: ReplayStop) -> int:
+        if self.counter == ExecPointCounter.BRANCHES:
+            return stop.point.branches
+        return stop.point.instructions
+
+    # -- arming -------------------------------------------------------------
+
+    def arm_next(self) -> None:
+        """Arm the counter/breakpoint for the next stop (or finish)."""
+        stop = self.current_stop()
+        if stop is None:
+            self.phase = ReplayPhase.DONE
+            return
+        target = self._target_of(stop)
+        now = self._count_now()
+        if now >= max(0, target - self.skid_buffer):
+            # Close enough already: go straight to breakpointing.
+            self._set_breakpoint(stop)
+        else:
+            self.setup_ops += 1
+            if self.counter == ExecPointCounter.BRANCHES:
+                self.proc.cpu.arm_branch_overflow(
+                    self.branch_base + target - self.skid_buffer)
+            else:
+                self.proc.cpu.arm_instr_overflow(
+                    self.instr_base + target - self.skid_buffer)
+            self.phase = ReplayPhase.WAIT_OVERFLOW
+
+    def _set_breakpoint(self, stop: ReplayStop) -> None:
+        self.setup_ops += 1
+        self.proc.cpu.breakpoints.add(stop.point.pc)
+        self.phase = ReplayPhase.WAIT_BREAKPOINT
+
+    # -- stop handling -------------------------------------------------------------
+
+    def on_overflow(self) -> ReplayOutcome:
+        """Counter overflow delivered (with skid): set the breakpoint."""
+        stop = self.current_stop()
+        if stop is None or self.phase != ReplayPhase.WAIT_OVERFLOW:
+            return ReplayOutcome.RUNNING
+        count = self._count_now()
+        target = self._target_of(stop)
+        if count > target:
+            return ReplayOutcome.OVERRUN  # skid blew through the buffer
+        if count == target and self.proc.cpu.pc == stop.point.pc:
+            return self._reached(stop)
+        self._set_breakpoint(stop)
+        return ReplayOutcome.RUNNING
+
+    def on_breakpoint(self) -> ReplayOutcome:
+        """Breakpoint at the target PC: stop only at the right count
+        (figure 3's "breakpointing on the same PC many times")."""
+        stop = self.current_stop()
+        if stop is None or self.phase != ReplayPhase.WAIT_BREAKPOINT:
+            # Stray breakpoint (not ours): skip past it.
+            self.proc.cpu.bp_skip_pc = self.proc.cpu.pc
+            return ReplayOutcome.RUNNING
+        count = self._count_now()
+        target = self._target_of(stop)
+        if count < target:
+            self.proc.cpu.bp_skip_pc = self.proc.cpu.pc
+            return ReplayOutcome.RUNNING
+        if count > target:
+            return ReplayOutcome.OVERRUN
+        return self._reached(stop)
+
+    def _reached(self, stop: ReplayStop) -> ReplayOutcome:
+        self.proc.cpu.breakpoints.discard(stop.point.pc)
+        self.proc.cpu.disarm_branch_overflow()
+        if self.counter == ExecPointCounter.INSTRUCTIONS:
+            self.proc.cpu.disarm_instr_overflow()
+        self.index += 1
+        self.phase = ReplayPhase.IDLE
+        return ReplayOutcome.REACHED

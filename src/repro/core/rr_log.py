@@ -1,0 +1,124 @@
+"""The record/replay log (paper §3.2, §4.3).
+
+While the main process executes a segment, every interaction with the
+outside world is recorded: syscalls (number, arguments, input data, result,
+output data), signals (with the execution point of delivery), and
+nondeterministic instructions (pc + value).  A checker replaying the segment
+consumes the records in order; any disagreement between what the checker
+does and what was recorded is a detected divergence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Record:
+    """Base class so the replay cursor can type-check what it dequeues."""
+
+    kind = "?"
+
+
+class SyscallRecord(Record):
+    kind = "syscall"
+
+    __slots__ = ("sysno", "args", "input_data", "result", "output_addr",
+                 "output_data", "classification", "replay_passthrough",
+                 "fixed_args")
+
+    def __init__(self, sysno: int, args: Tuple[int, ...],
+                 classification: str,
+                 input_data: bytes = b"",
+                 result: int = 0,
+                 output_addr: int = 0,
+                 output_data: bytes = b"",
+                 replay_passthrough: bool = False,
+                 fixed_args: Optional[Tuple[int, ...]] = None):
+        self.sysno = sysno
+        self.args = args
+        self.classification = classification
+        self.input_data = input_data
+        self.result = result
+        self.output_addr = output_addr
+        self.output_data = output_data
+        #: Locally-effectful syscalls are re-executed by the checker rather
+        #: than emulated (paper §4.3.1).
+        self.replay_passthrough = replay_passthrough
+        #: Argument rewrite applied at replay (mmap MAP_FIXED, §4.3.2).
+        self.fixed_args = fixed_args
+
+    def __repr__(self) -> str:
+        return (f"SyscallRecord({self.sysno}, args={self.args}, "
+                f"class={self.classification}, result={self.result})")
+
+
+class SignalRecord(Record):
+    kind = "signal"
+
+    __slots__ = ("signo", "external", "exec_point")
+
+    def __init__(self, signo: int, external: bool, exec_point=None):
+        self.signo = signo
+        self.external = external
+        #: For external signals: the ExecPoint where delivery happened in
+        #: the main, so the checker receives it at the same point (§4.3.3).
+        self.exec_point = exec_point
+
+    def __repr__(self) -> str:
+        return (f"SignalRecord({self.signo}, "
+                f"{'external' if self.external else 'internal'})")
+
+
+class NondetRecord(Record):
+    kind = "nondet"
+
+    __slots__ = ("pc", "opcode", "value")
+
+    def __init__(self, pc: int, opcode: int, value: int):
+        self.pc = pc
+        self.opcode = opcode
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"NondetRecord(pc={self.pc:#x}, value={self.value})"
+
+
+class RrLog:
+    """Ordered record stream for one segment, with per-checker cursor."""
+
+    def __init__(self):
+        self.records: List[Record] = []
+        #: Bytes of syscall data captured (drives recording cost, §5.7).
+        self.bytes_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: Record) -> None:
+        self.records.append(record)
+
+    def cursor(self) -> "RrCursor":
+        return RrCursor(self)
+
+
+class RrCursor:
+    """A checker's position in its segment's log."""
+
+    def __init__(self, log: RrLog):
+        self._log = log
+        self.position = 0
+
+    def peek(self) -> Optional[Record]:
+        if self.position < len(self._log.records):
+            return self._log.records[self.position]
+        return None
+
+    def next(self) -> Optional[Record]:
+        record = self.peek()
+        if record is not None:
+            self.position += 1
+        return record
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self._log.records)

@@ -1,0 +1,821 @@
+"""The Parallaft runtime: coordinator + tracer (paper §3, figure 2).
+
+``Parallaft`` is the user-facing entry point: give it a program (and
+optionally a platform/config), call :meth:`run`, get :class:`RunStats`.
+
+Internally it is the *coordinator* of figure 2: a ptrace-style tracer that
+slices the main execution into segments, forks checkpoint/checker processes
+at boundaries, records syscalls/signals/nondeterministic instructions into
+per-segment R/R logs, replays checkers to recorded execution points on
+little cores, compares program state at segment ends, and schedules/paces
+checkers for energy efficiency.
+
+The same class runs the paper's RAFT model (§5.1) via
+``ParallaftConfig.raft()``: a single segment whose checker runs concurrently
+on a big core with no state comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import abi
+from repro.common.errors import ReproError, SimulationError
+from repro.core import syscall_model
+from repro.core.checker_sched import CheckerScheduler
+from repro.core.comparator import StateComparator
+from repro.core.config import (
+    DirtyPageBackend,
+    ExecPointCounter,
+    ParallaftConfig,
+    RuntimeMode,
+)
+from repro.core.dirty_tracker import DirtyPageTracker
+from repro.core.exec_point import (
+    ExecPoint,
+    ExecPointReplayer,
+    ReplayOutcome,
+    ReplayStop,
+    ReplayStopKind,
+)
+from repro.core.rr_log import NondetRecord, SignalRecord, SyscallRecord
+from repro.core.segment import Segment, SegmentStatus
+from repro.core.stats import DetectedError, RunStats
+from repro.cpu.exceptions import Stop, StopReason
+from repro.isa import instructions as I
+from repro.isa.program import Program
+from repro.kernel import Kernel, SyscallAction, Tracer
+from repro.kernel.process import Process, ProcessState
+from repro.sim.executor import Executor
+from repro.sim.platform import PlatformConfig, apple_m2
+
+
+class Parallaft(Tracer):
+    """Protect one program run with heterogeneous parallel error detection."""
+
+    def __init__(self, program: Program,
+                 config: Optional[ParallaftConfig] = None,
+                 platform: Optional[PlatformConfig] = None,
+                 kernel: Optional[Kernel] = None,
+                 executor: Optional[Executor] = None,
+                 files: Optional[Dict[str, bytes]] = None,
+                 quantum: int = 2000,
+                 seed: int = 0):
+        self.program = program
+        self.platform = platform or apple_m2()
+        self.config = config or ParallaftConfig()
+        self.config.validate()
+        self.kernel = kernel or Kernel(page_size=self.platform.page_size,
+                                       seed=seed)
+        self.kernel.counters.instr_overcount_max = \
+            self.platform.instr_overcount_max
+        self.kernel.counters.skid_max = self.platform.skid_max
+        self.kernel.counters.skid_probability = self.platform.skid_probability
+        self.executor = executor or Executor(self.kernel, self.platform,
+                                             quantum=quantum)
+        for path, data in (files or {}).items():
+            self.kernel.vfs.register(path, data)
+
+        self.stats = RunStats()
+        backend = self.config.dirty_page_backend
+        if backend is None:
+            backend = (DirtyPageBackend.SOFT_DIRTY
+                       if self.platform.arch == "x86_64"
+                       else DirtyPageBackend.MAP_COUNT)
+        self.dirty_tracker = DirtyPageTracker(backend,
+                                              self.platform.page_size)
+        self.comparator = StateComparator(self.config.comparison,
+                                          self.platform.page_size)
+        self.sched = CheckerScheduler(self.executor, self.config, self.stats)
+        self.slicing_unit = (self.config.slicing_unit
+                             or self.platform.slicing_unit)
+
+        self.main: Optional[Process] = None
+        self.segments: List[Segment] = []
+        self.current: Optional[Segment] = None
+        self.roles: Dict[int, str] = {}
+        self.segment_of_checker: Dict[int, Segment] = {}
+        self.patch_table: Dict[int, I.Instr] = {}
+        self._pending_syscall: Optional[SyscallRecord] = None
+        self._pending_mmap_split = False
+        #: pid -> original argument registers to restore after a rewritten
+        #: (MAP_FIXED) replay call completes, so checker registers stay
+        #: bit-identical to the main's.
+        self._checker_restore_regs: Dict[int, Tuple[int, ...]] = {}
+        self._stalled_checkers: Set[int] = set()
+        self._main_stalled_on_cap = False
+        self._main_stalled_for_containment = False
+        self._terminated = False
+        #: Per-quantum hooks (fault injection attaches here).
+        self.quantum_hooks: List[Callable[[Process, str], None]] = []
+
+    # ------------------------------------------------------------------ setup
+
+    def _setup(self) -> None:
+        self.main = self.kernel.spawn(self.program)
+        self.kernel.attach_tracer(self.main, self)
+        self.roles[self.main.pid] = "main"
+        if self.platform.arch == "x86_64":
+            # rdtsc/cpuid disabled in hardware: they fault and we emulate
+            # (paper §4.3.4).  Our mrs traps the same way.
+            self.main.cpu.trap_nondet = True
+        else:
+            # AArch64: binary-patch nondeterministic reads to brk
+            # (paper §4.3.4 and footnote 9).
+            self._patch_nondet_instructions(self.main)
+        core = self.executor.big_cores[0]
+        self.executor.assign(self.main, core)
+        self._start_segment()
+
+    def _patch_nondet_instructions(self, proc: Process) -> None:
+        for address, instr in list(proc.mem.scan_code()):
+            if instr.op in I.NONDET_OPCODES:
+                original = proc.mem.patch_code(address, I.make_brk())
+                self.patch_table[address] = original
+
+    # -------------------------------------------------------------- public API
+
+    def run(self) -> RunStats:
+        """Run the program under protection; returns the collected stats."""
+        self._setup()
+        self.executor.run()
+        self._finalize_stats()
+        return self.stats
+
+    # --------------------------------------------------------- segment machinery
+
+    def _instr_reading(self, proc: Process) -> int:
+        return proc.cpu.read_counter("instructions")
+
+    def _live_segments(self) -> int:
+        return sum(1 for s in self.segments if s.live)
+
+    def _start_segment(self) -> None:
+        main = self.main
+        checker, fork_cost = self.kernel.fork(
+            main, name=f"checker-{len(self.segments)}", paused=True)
+        self.executor.charge(main, fork_cost)
+        self.roles[checker.pid] = "checker"
+        segment = Segment(
+            index=len(self.segments),
+            checker=checker,
+            start_branches=main.cpu.branches_retired,
+            start_instructions=self._instr_reading(main),
+            start_cycles=main.user_cycles,
+            start_time=self.executor.current_time,
+        )
+        self.segment_of_checker[checker.pid] = segment
+        self.segments.append(segment)
+        self.current = segment
+        self.stats.checkpoint_count += 1
+        if self.config.retry_failed_checkers:
+            # Error recovery (Table 2 future work): retain a pristine copy
+            # of the segment-start state to re-fork checkers from.
+            recovery, cost = self.kernel.fork(
+                main, name=f"recovery-{segment.index}", paused=True)
+            self.executor.charge(main, cost)
+            self.roles[recovery.pid] = "checkpoint"
+            segment.recovery_checkpoint = recovery
+        if self.config.compare_state:
+            pages = self.dirty_tracker.begin_segment(main)
+            self.executor.charge(main,
+                                 self.kernel.costs.dirty_clear_cycles(pages))
+        # Program the branch counter for execution-point recording (§4.2.1).
+        self.executor.charge(main, self.kernel.costs.perf_setup_cycles)
+        if self.config.mode == RuntimeMode.RAFT:
+            # RAFT's checker runs concurrently from the very start,
+            # consuming the log as it is recorded.
+            self.sched.submit(segment)
+
+    def _finalize_segment(self, end_is_main_exit: bool = False) -> None:
+        """Close the recording segment at the main's current stop point."""
+        segment = self.current
+        if segment is None:
+            return
+        main = self.main
+        point = ExecPoint(
+            main.cpu.pc,
+            main.cpu.branches_retired - segment.start_branches,
+            self._instr_reading(main) - segment.start_instructions,
+        )
+        segment.end_point = point
+        segment.main_instructions = point.instructions
+        if self.config.compare_state:
+            segment.main_dirty_vpns = self.dirty_tracker.dirty_vpns(main)
+            self.executor.charge(main, self.kernel.costs.dirty_scan_cycles(
+                main.mem.mapped_pages))
+        if end_is_main_exit:
+            # The final segment compares against the exited (unreaped) main.
+            segment.end_checkpoint = main
+            segment.end_is_main = True
+        else:
+            checkpoint, cost = self.kernel.fork(
+                main, name=f"checkpoint-{segment.index + 1}", paused=True)
+            self.executor.charge(main, cost)
+            self.roles[checkpoint.pid] = "checkpoint"
+            segment.end_checkpoint = checkpoint
+        segment.ready_time = self.executor.current_time
+        segment.status = SegmentStatus.READY
+        self.current = None
+        self._release_segment(segment)
+
+    def _release_segment(self, segment: Segment) -> None:
+        """Arm the checker's replay to the recorded end point and start it."""
+        checker = segment.checker
+        stops = list(segment.signal_stops)
+        stops.append(ReplayStop(segment.end_point,
+                                ReplayStopKind.SEGMENT_END))
+        segment.replayer = ExecPointReplayer(
+            checker, stops, self.config.skid_buffer_branches,
+            self.config.exec_point_counter,
+            branch_base=segment.start_branches,
+            instr_base=segment.start_instructions)
+        # 1.1x instruction timeout (paper §4.2.2): kills checkers whose
+        # control flow was corrupted into never reaching the end point.
+        if self.config.exec_point_counter == ExecPointCounter.BRANCHES:
+            timeout = (segment.start_instructions
+                       + int(segment.main_instructions
+                             * self.config.checker_timeout_scale) + 64)
+            checker.cpu.arm_instr_overflow(timeout)
+        if self.config.mode != RuntimeMode.RAFT:
+            self.sched.submit(segment)
+        segment.replayer.arm_next()
+        self.executor.charge(checker, self.kernel.costs.perf_setup_cycles
+                             + self.kernel.costs.breakpoint_setup_cycles)
+        if checker.state == ProcessState.WAITING:
+            self._wake_checker(checker)
+
+    def _boundary(self) -> None:
+        """A slicing boundary: finalize the recording segment, start the
+        next one (figure 1(b) steps 1-2)."""
+        self._finalize_segment()
+        self._start_segment()
+        self.stats.nr_slices += 1
+
+    # ------------------------------------------------------------ record helpers
+
+    def _charge_record_bytes(self, proc: Process, nbytes: int) -> None:
+        if nbytes:
+            self.stats.bytes_recorded += nbytes
+            self.executor.charge(
+                proc, nbytes * self.kernel.costs.record_per_byte_cycles)
+
+    def _wake_checker(self, checker: Process) -> None:
+        if checker.state == ProcessState.WAITING:
+            checker.state = ProcessState.RUNNING
+            checker.ready_time = max(checker.ready_time,
+                                     self.executor.current_time)
+            self._stalled_checkers.discard(checker.pid)
+
+    def _stall_checker(self, checker: Process) -> None:
+        checker.state = ProcessState.WAITING
+        self._stalled_checkers.add(checker.pid)
+
+    def _record_appended(self, segment: Segment) -> None:
+        checker = segment.checker
+        if checker is not None and checker.pid in self._stalled_checkers:
+            self._wake_checker(checker)
+
+    def _drain_signal_records(self, checker: Process) -> None:
+        """Inject record-stream signals the main raised against itself.
+
+        The main's ``kill`` syscall queues a real signal; the checker's
+        ``kill`` is emulated, so the kernel never queues the checker's copy
+        — it is delivered here from the record instead, right after the
+        replayed syscall completes.  Only *handled* signals are drained:
+        unhandled fatal records correspond to genuine faults, which the
+        checker reproduces (and matches) by faulting itself.
+        """
+        segment = self.segment_of_checker.get(checker.pid)
+        if segment is None or not checker.alive:
+            return
+        while True:
+            record = segment.cursor.peek()
+            if (record is None or record.kind != "signal" or record.external
+                    or record.signo not in checker.signal_handlers):
+                return
+            segment.cursor.next()
+            self.kernel.deliver_signal_now(checker, record.signo)
+
+    # ------------------------------------------------------------- error handling
+
+    def _report_error(self, kind: str, segment: Optional[Segment],
+                      detail: str = "") -> None:
+        if (segment is not None and self.config.retry_failed_checkers
+                and segment.retries < self.config.max_checker_retries
+                and segment.recovery_checkpoint is not None
+                and segment.end_point is not None):
+            self._retry_segment_check(segment, kind)
+            return
+        index = segment.index if segment is not None else -1
+        self.stats.errors.append(DetectedError(
+            kind, index, detail, self.executor.current_time))
+        if segment is not None:
+            segment.status = SegmentStatus.FAILED
+            if segment.checker is not None and segment.checker.alive:
+                self.kernel.exit_process(segment.checker, 1)
+            self.sched.on_checker_done(segment)
+        if self._main_stalled_on_cap and self.main is not None \
+                and self.main.alive:
+            self._main_stalled_on_cap = False
+            self.main.state = ProcessState.RUNNING
+        if self.config.stop_on_error:
+            self._terminate_application()
+
+    def _retry_segment_check(self, segment: Segment, kind: str) -> None:
+        """Re-run a failed segment check with a fresh checker forked from
+        the retained segment-start state (error recovery, Table 2).
+
+        If the original failure was a transient fault in the *checker*, the
+        retry succeeds and the application continues unharmed; a repeat
+        mismatch implicates the main copy and is reported for real.
+        """
+        segment.retries += 1
+        self.stats.checker_retries += 1
+        old = segment.checker
+        if old is not None:
+            # Detach before killing so the exit hook does not re-enter the
+            # error path for the checker we are deliberately discarding.
+            self.segment_of_checker.pop(old.pid, None)
+            if old.alive:
+                self.kernel.exit_process(old, 1)
+            self.kernel.reap(old)
+        self.sched.on_checker_done(segment)
+
+        source = segment.recovery_checkpoint
+        fresh, cost = self.kernel.fork(
+            source, name=f"checker-{segment.index}-retry{segment.retries}",
+            paused=True)
+        # Retry work happens off the main's critical path; charge the new
+        # checker once it lands on a core.
+        self.roles[fresh.pid] = "checker"
+        self.segment_of_checker[fresh.pid] = segment
+        segment.checker = fresh
+        segment.cursor = segment.log.cursor()
+        segment.status = SegmentStatus.READY
+        self._release_segment(segment)
+        self.executor.charge(fresh, cost)
+
+    def _terminate_application(self) -> None:
+        """An error was detected: terminate the application (paper §4.4)."""
+        if self._terminated:
+            return
+        self._terminated = True
+        for proc in list(self.kernel.processes.values()):
+            if proc.alive and self.roles.get(proc.pid) in ("main", "checker"):
+                if proc is self.main and proc.exit_code is not None:
+                    continue
+                self.kernel.exit_process(proc, 128 + abi.SIGKILL)
+
+    # --------------------------------------------------------------- Tracer hooks
+
+    # .. syscalls ..
+
+    def on_syscall_entry(self, proc: Process, sysno: int,
+                         args: Sequence[int]) -> Optional[SyscallAction]:
+        role = self.roles.get(proc.pid)
+        if role == "main":
+            return self._main_syscall_entry(proc, sysno, tuple(args))
+        if role == "checker":
+            return self._checker_syscall_entry(proc, sysno, tuple(args))
+        return None
+
+    def _main_syscall_entry(self, proc: Process, sysno: int,
+                            args: Tuple[int, ...]) -> Optional[SyscallAction]:
+        if sysno == abi.SYS_EXIT:
+            # Finalize the last segment at the exit syscall's execution
+            # point; the checker will stop exactly here via its breakpoint.
+            self._finalize_segment(end_is_main_exit=True)
+            return None
+        if syscall_model.is_shared_mmap(sysno, args):
+            raise ReproError(
+                "shared memory mappings are outside Parallaft's supported "
+                "scope (paper §4.3.2)")
+        if syscall_model.is_file_backed_mmap(sysno, args):
+            # Split segments around the call so it stays outside the
+            # protection zone (paper §4.3.2): the checker forked *after*
+            # the call inherits the mapping instead of replaying it.  This
+            # applies in RAFT mode too — the paper's RAFT model takes two
+            # extra checkpoints around file-backed mmaps (§5.1).
+            self._finalize_segment()
+            self._pending_mmap_split = True
+            self.stats.mmap_splits += 1
+            return None
+        classification = syscall_model.classify(sysno)
+        if (self.config.error_containment
+                and classification == syscall_model.GLOBAL
+                and self.current is not None
+                and any(s.live for s in self.segments
+                        if s.index < self.current.index)):
+            # Error containment in the SoR (Table 2 future work): nothing
+            # escapes until every earlier segment is verified.  The main
+            # stalls here and re-issues the syscall once they retire.
+            self._main_stalled_for_containment = True
+            proc.state = ProcessState.WAITING
+            return SyscallAction.emulate(0)
+        record = SyscallRecord(sysno, args, classification,
+                               replay_passthrough=(classification
+                                                   == syscall_model.LOCAL))
+        region = syscall_model.input_region(sysno, args)
+        if region is not None:
+            address, length = region
+            try:
+                record.input_data = proc.mem.read_bytes(address, length)
+            except Exception:
+                record.input_data = b""
+            self._charge_record_bytes(proc, len(record.input_data))
+        self._pending_syscall = record
+        return None
+
+    def on_syscall_exit(self, proc: Process, sysno: int,
+                        args: Sequence[int], result: int) -> None:
+        role = self.roles.get(proc.pid)
+        if role == "checker":
+            original = self._checker_restore_regs.pop(proc.pid, None)
+            if original is not None:
+                # Undo the MAP_FIXED argument rewrite so checker registers
+                # stay bit-identical to the main's.
+                for i, value in enumerate(original):
+                    proc.cpu.regs.gprs[i + 1] = value
+            self._drain_signal_records(proc)
+            return
+        if role != "main":
+            return
+        if self._pending_mmap_split:
+            # The file-backed mmap completed: open the next segment, whose
+            # start checkpoint duplicates the new mapping into the checker.
+            self._pending_mmap_split = False
+            if proc.alive:
+                self._start_segment()
+            return
+        record = self._pending_syscall
+        self._pending_syscall = None
+        if record is None or self.current is None:
+            return
+        record.result = result
+        region = syscall_model.output_region(sysno, record.args, result)
+        if region is not None:
+            address, length = region
+            try:
+                record.output_addr = address
+                record.output_data = proc.mem.read_bytes(address, length)
+            except Exception:
+                record.output_data = b""
+            self._charge_record_bytes(proc, len(record.output_data))
+        if syscall_model.needs_aslr_fixup(sysno, record.args) and result > 0:
+            # Replay will pin the checker's mapping to the address ASLR
+            # gave the main (paper §4.3.2).
+            fixed = list(record.args)
+            fixed[0] = result
+            fixed[3] = record.args[3] | abi.MAP_FIXED
+            record.fixed_args = tuple(fixed)
+        self.current.log.append(record)
+        self.stats.syscalls_recorded += 1
+        self._record_appended(self.current)
+
+    def _checker_syscall_entry(self, proc: Process, sysno: int,
+                               args: Tuple[int, ...]
+                               ) -> Optional[SyscallAction]:
+        segment = self.segment_of_checker.get(proc.pid)
+        if segment is None:
+            return None
+        record = segment.cursor.peek()
+        if record is None:
+            if segment.end_point is None:
+                # RAFT-style concurrency: the checker caught up with the
+                # main; block until the record exists.
+                self._stall_checker(proc)
+                return SyscallAction.emulate(0)
+            self._report_error("syscall_divergence", segment,
+                               f"checker issued extra syscall {sysno}")
+            return SyscallAction.emulate(-abi.ENOSYS)
+        if record.kind != "syscall":
+            self._report_error("syscall_divergence", segment,
+                               f"expected {record.kind} record, checker "
+                               f"issued syscall {sysno}")
+            return SyscallAction.emulate(-abi.ENOSYS)
+        if record.sysno != sysno or record.args != args:
+            self._report_error(
+                "syscall_divergence", segment,
+                f"main {record.sysno}{record.args} vs checker {sysno}{args}")
+            return SyscallAction.emulate(-abi.ENOSYS)
+        region = syscall_model.input_region(sysno, args)
+        if region is not None:
+            address, length = region
+            try:
+                checker_data = proc.mem.read_bytes(address, length)
+            except Exception:
+                checker_data = None
+            self._charge_record_bytes(proc, length)
+            if checker_data != record.input_data:
+                self._report_error("syscall_divergence", segment,
+                                   f"syscall {sysno} data mismatch")
+                return SyscallAction.emulate(-abi.ENOSYS)
+        segment.cursor.next()
+        self.stats.syscalls_replayed += 1
+        if record.replay_passthrough:
+            if record.fixed_args is not None:
+                self._checker_restore_regs[proc.pid] = args
+                for i, value in enumerate(record.fixed_args):
+                    proc.cpu.regs.gprs[i + 1] = value
+            return None
+        if record.output_data:
+            try:
+                proc.mem.write_bytes(record.output_addr, record.output_data,
+                                     force=True)
+            except Exception:
+                self._report_error("syscall_divergence", segment,
+                                   "replay target memory unmapped")
+                return SyscallAction.emulate(-abi.ENOSYS)
+        return SyscallAction.emulate(record.result)
+
+    # .. non-syscall stops ..
+
+    def on_stop(self, proc: Process, stop: Stop) -> None:
+        role = self.roles.get(proc.pid)
+        reason = stop.reason
+        if reason in (StopReason.BRK, StopReason.NONDET):
+            self._handle_nondet(proc, role)
+            return
+        if role != "checker":
+            # The slicer is quantum-driven; stray main-side overflows are
+            # disarmed and ignored.
+            proc.cpu.disarm_branch_overflow()
+            return
+        segment = self.segment_of_checker.get(proc.pid)
+        if segment is None or segment.replayer is None:
+            proc.cpu.disarm_branch_overflow()
+            proc.cpu.disarm_instr_overflow()
+            return
+        replayer = segment.replayer
+        if reason == StopReason.INSTR_OVERFLOW:
+            if self.config.exec_point_counter == ExecPointCounter.BRANCHES:
+                # 1.1x budget exceeded: control-flow corruption (paper
+                # §4.2.2 "Handling Timeout").
+                self._report_error("timeout", segment,
+                                   "checker exceeded instruction budget")
+                return
+            outcome = replayer.on_overflow()
+        elif reason == StopReason.COUNTER_OVERFLOW:
+            outcome = replayer.on_overflow()
+            self.executor.charge(proc,
+                                 self.kernel.costs.breakpoint_setup_cycles)
+        elif reason == StopReason.BREAKPOINT:
+            outcome = replayer.on_breakpoint()
+        else:
+            return
+        if outcome == ReplayOutcome.OVERRUN:
+            self._report_error("exec_point_overrun", segment,
+                               "checker ran past the recorded branch count")
+            return
+        if outcome == ReplayOutcome.REACHED:
+            finished_index = replayer.index - 1
+            reached = replayer.stops[finished_index]
+            if reached.kind == ReplayStopKind.SIGNAL:
+                # External-signal replay at the identical execution point
+                # (paper §4.3.3).
+                self.kernel.deliver_signal_now(proc, reached.signo)
+                replayer.arm_next()
+            else:
+                self._complete_segment_check(segment)
+
+    def _handle_nondet(self, proc: Process, role: Optional[str]) -> None:
+        pc = proc.cpu.pc
+        instr = proc.mem.fetch(pc)
+        if instr.op == I.BRK:
+            instr = self.patch_table.get(pc)
+            if instr is None:
+                # A brk that is not one of our patch sites: a real trap.
+                self.kernel.send_signal(proc, abi.SIGTRAP, external=False)
+                self.kernel.deliver_pending_signal(proc)
+                return
+        if role == "main":
+            value = self._native_nondet_value(proc, instr)
+            if self.current is not None:
+                self.current.log.append(NondetRecord(pc, instr.op, value))
+                self.stats.nondet_recorded += 1
+                self._record_appended(self.current)
+            self._apply_nondet(proc, instr, value)
+            return
+        if role == "checker":
+            segment = self.segment_of_checker.get(proc.pid)
+            if segment is None:
+                return
+            record = segment.cursor.peek()
+            if record is None and segment.end_point is None:
+                self._stall_checker(proc)
+                return
+            if (record is None or record.kind != "nondet"
+                    or record.pc != pc):
+                self._report_error(
+                    "syscall_divergence", segment,
+                    f"nondet replay mismatch at pc={pc:#x}")
+                return
+            segment.cursor.next()
+            self._apply_nondet(proc, instr, record.value)
+
+    def _native_nondet_value(self, proc: Process, instr: I.Instr) -> int:
+        if instr.op == I.RDTSC:
+            return proc.nondet.read_tsc()
+        if instr.op == I.MRS:
+            return proc.nondet.read_sysreg(instr.imm)
+        return proc.nondet.cpuid()
+
+    def _apply_nondet(self, proc: Process, instr: I.Instr,
+                      value: int) -> None:
+        """Emulate the trapped instruction: set the destination register,
+        retire it, advance the PC."""
+        proc.cpu.regs.gprs[instr.a] = value
+        proc.cpu.pc += 4
+        proc.cpu.instr_retired += 1
+        self.kernel._inject_overcount(proc)
+
+    # .. signals ..
+
+    def on_signal(self, proc: Process, signo: int, external: bool) -> bool:
+        role = self.roles.get(proc.pid)
+        if role == "main":
+            if external:
+                # Deliver now (we are at a precise stop) and arrange the
+                # checker to receive it at the identical execution point
+                # (paper §4.3.3).
+                if self.current is not None:
+                    segment = self.current
+                    point = ExecPoint(
+                        proc.cpu.pc,
+                        proc.cpu.branches_retired - segment.start_branches,
+                        self._instr_reading(proc)
+                        - segment.start_instructions)
+                    segment.signal_stops.append(
+                        ReplayStop(point, ReplayStopKind.SIGNAL, signo))
+                    self.stats.signals_recorded += 1
+                return True
+            # Internal signal (e.g. SIGSEGV from the app itself): record it;
+            # the checker's own execution reproduces it (paper §4.3.3).
+            if self.current is not None:
+                self.current.log.append(SignalRecord(signo, external=False))
+                self.stats.signals_recorded += 1
+                self._record_appended(self.current)
+            return True
+        if role == "checker":
+            segment = self.segment_of_checker.get(proc.pid)
+            if segment is None:
+                return True
+            record = segment.cursor.peek()
+            if (record is not None and record.kind == "signal"
+                    and record.signo == signo):
+                # The checker reproduced the main's own (internal) signal.
+                segment.cursor.next()
+                if (signo in abi.FATAL_SIGNALS
+                        and signo not in proc.signal_handlers):
+                    # Both copies die here deterministically: the crash is
+                    # faithfully reproduced, not a divergence.
+                    segment.check_finished_time = self.executor.current_time
+                    segment.status = SegmentStatus.CHECKED
+                    self.stats.segments_checked += 1
+                return True
+            # No matching record: the checker faulted where the main did
+            # not -> a detected error (the "Exception" class of §5.6).
+            self._report_error("exception", segment,
+                               f"checker raised unmatched signal {signo}")
+            return False
+        return True
+
+    # .. lifecycle ..
+
+    def on_process_exit(self, proc: Process) -> None:
+        role = self.roles.get(proc.pid)
+        if role == "main":
+            if self.current is not None and not self._terminated:
+                # Crash exit (fatal signal): close the last segment at the
+                # death point so trailing checkers still verify it.
+                self._finalize_segment(end_is_main_exit=True)
+            self.sched.on_main_exit()
+            return
+        if role == "checker":
+            segment = self.segment_of_checker.get(proc.pid)
+            if segment is None:
+                return
+            if segment.status == SegmentStatus.CHECKED \
+                    and segment.checker is proc \
+                    and segment in self.sched.running:
+                # Crash faithfully reproduced (see on_signal): retire now.
+                self._retire_segment(segment)
+                return
+            if segment.live and not self._terminated \
+                    and not self.stats.errors:
+                self._report_error("exception", segment,
+                                   "checker died before its end point")
+
+    def on_quantum(self, proc: Process, executed: int) -> None:
+        role = self.roles.get(proc.pid)
+        for hook in self.quantum_hooks:
+            hook(proc, role or "?")
+        if role != "main" or self.current is None:
+            return
+        if self.config.mode == RuntimeMode.RAFT:
+            return
+        segment = self.current
+        if self.slicing_unit == "cycles":
+            progress = proc.user_cycles - segment.start_cycles
+        else:
+            progress = ((self._instr_reading(proc)
+                         - segment.start_instructions)
+                        * self.platform.cycle_scale)
+        if progress < self.config.slicing_period:
+            return
+        if self._live_segments() >= self.config.max_live_segments:
+            # Detection-latency bound (§3.4): stall the main until a
+            # segment retires rather than growing the live set.
+            self._main_stalled_on_cap = True
+            proc.state = ProcessState.WAITING
+            return
+        self._boundary()
+
+    # ------------------------------------------------------------ segment check
+
+    def _complete_segment_check(self, segment: Segment) -> None:
+        checker = segment.checker
+        checkpoint = segment.end_checkpoint
+        if self.config.compare_state:
+            union = set(segment.main_dirty_vpns)
+            union.update(self.dirty_tracker.dirty_vpns(checker))
+            self.executor.charge(checker, self.kernel.costs.dirty_scan_cycles(
+                checker.mem.mapped_pages))
+            result = self.comparator.compare(checker, checkpoint, union)
+            self.executor.charge(
+                checker, self.kernel.costs.hash_cycles(result.bytes_hashed))
+            if not result.match:
+                self._report_error("state_mismatch", segment, result.reason)
+                return
+        segment.check_finished_time = self.executor.current_time
+        segment.status = SegmentStatus.CHECKED
+        self.stats.segments_checked += 1
+        self._retire_segment(segment)
+
+    def _retire_segment(self, segment: Segment) -> None:
+        checker = segment.checker
+        if checker is not None:
+            self.stats.checker_user_time += checker.user_time
+            self.stats.checker_sys_time += checker.sys_time
+            self.stats.checker_cycles_big += checker.cycles_big
+            self.stats.checker_cycles_little += checker.cycles_little
+            if checker.alive:
+                self.kernel.exit_process(checker, 0)
+            self.kernel.reap(checker)
+        if segment.end_checkpoint is not None and not segment.end_is_main:
+            self.kernel.reap(segment.end_checkpoint)
+        if segment.recovery_checkpoint is not None:
+            self.kernel.reap(segment.recovery_checkpoint)
+        self.sched.on_checker_done(segment)
+        if (self._main_stalled_on_cap or self._main_stalled_for_containment) \
+                and self.main.alive:
+            self._main_stalled_on_cap = False
+            self._main_stalled_for_containment = False
+            self.main.state = ProcessState.RUNNING
+            self.main.ready_time = max(self.main.ready_time,
+                                       self.executor.current_time)
+            # A deferred boundary or held syscall re-fires on the main's
+            # next quantum.
+
+    # ---------------------------------------------------------------- stats
+
+    def _finalize_stats(self) -> None:
+        main = self.main
+        stats = self.stats
+        stats.exit_code = main.exit_code
+        stats.stdout = self.kernel.console.text()
+        end = main.exit_time if main.exit_time is not None \
+            else self.executor.current_time
+        stats.main_wall_time = end - main.spawn_time
+        stats.main_user_time = main.user_time
+        stats.main_sys_time = main.sys_time
+        finish_times = [end]
+        finish_times.extend(s.check_finished_time for s in self.segments
+                            if s.check_finished_time is not None)
+        stats.all_wall_time = max(finish_times) - main.spawn_time
+        stats.energy_joules = self.executor.total_energy_joules(
+            wall=stats.all_wall_time)
+
+    # ------------------------------------------------------------- memory sampling
+
+    def enable_memory_sampling(self, interval: float = 0.5) -> None:
+        """Sample the summed PSS of main + checker processes (paper §5.1:
+        checkpoints' private memory is excluded, as it can be swapped out)."""
+
+        def sample(_when: float) -> None:
+            total = 0.0
+            for pid, role in self.roles.items():
+                if role not in ("main", "checker"):
+                    continue
+                proc = self.kernel.processes.get(pid)
+                if proc is not None and proc.alive:
+                    total += proc.mem.pss_bytes()
+            self.stats.pss_samples.append(total)
+
+        self.executor.add_sampler(interval, sample)
+
+
+def protect(program: Program, **kwargs) -> RunStats:
+    """One-call convenience: run ``program`` under Parallaft."""
+    return Parallaft(program, **kwargs).run()

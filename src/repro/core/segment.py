@@ -1,0 +1,88 @@
+"""Segment lifecycle (paper §3.1, figure 1(b)).
+
+The main execution is sliced into segments.  For segment *k*:
+
+1. At boundary *k* (segment start) the coordinator forks a paused *checker*
+   process from the main — the duplicated start state.
+2. While the main executes segment *k*, its OS interactions are recorded
+   into the segment's R/R log.
+3. At boundary *k+1* the coordinator forks the *end checkpoint*, records the
+   end execution point, and the segment becomes READY: its checker is
+   released onto a little core.
+4. The checker replays to the end point and its state is compared against
+   the end checkpoint; the segment becomes CHECKED (or the error is
+   reported).
+
+Correctness of the whole run follows by induction over checked segments
+(paper §3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.core.exec_point import ExecPoint, ExecPointReplayer, ReplayStop
+from repro.core.rr_log import RrLog
+from repro.kernel.process import Process
+
+
+class SegmentStatus(enum.Enum):
+    RECORDING = "recording"    # main is executing this segment
+    READY = "ready"            # end point known; checker can run
+    CHECKING = "checking"      # checker running (or queued for a core)
+    CHECKED = "checked"        # comparison succeeded
+    FAILED = "failed"          # divergence detected
+
+
+class Segment:
+    def __init__(self, index: int, checker: Process,
+                 start_branches: int, start_instructions: int,
+                 start_cycles: float, start_time: float):
+        self.index = index
+        #: Paused fork of the main at segment start; released when READY.
+        self.checker: Optional[Process] = checker
+        #: Pristine fork of the main at segment end (comparison target).
+        self.end_checkpoint: Optional[Process] = None
+        #: True when end_checkpoint is the main process itself (final
+        #: segment compares against the exited main, which is not reaped).
+        self.end_is_main = False
+        self.log = RrLog()
+        #: The checker's replay position in the log.
+        self.cursor = self.log.cursor()
+        self.status = SegmentStatus.RECORDING
+
+        # Counter bases at segment start (from the main's CPU).
+        self.start_branches = start_branches
+        self.start_instructions = start_instructions
+        self.start_cycles = start_cycles
+        self.start_time = start_time
+
+        # Filled at finalize.
+        self.end_point: Optional[ExecPoint] = None
+        self.main_instructions = 0          # relative, for the 1.1x timeout
+        self.main_dirty_vpns: List[int] = []
+        self.ready_time: Optional[float] = None
+
+        # Signal replay stops accumulated during recording.
+        self.signal_stops: List[ReplayStop] = []
+
+        # Recovery support (retry_failed_checkers): a pristine fork of the
+        # segment-start state, retained so a failed check can be retried.
+        self.recovery_checkpoint: Optional[Process] = None
+        self.retries = 0
+
+        # Filled while checking.
+        self.replayer: Optional[ExecPointReplayer] = None
+        self.check_started_time: Optional[float] = None
+        self.check_finished_time: Optional[float] = None
+        self.checker_was_migrated = False
+        self.checker_user_cycles_at_start = 0.0
+
+    def __repr__(self) -> str:
+        return f"Segment({self.index}, {self.status.value})"
+
+    @property
+    def live(self) -> bool:
+        return self.status in (SegmentStatus.RECORDING, SegmentStatus.READY,
+                               SegmentStatus.CHECKING)

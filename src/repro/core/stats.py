@@ -1,0 +1,97 @@
+"""Runtime statistics, mirroring the artifact's output keys (appendix A.7):
+``timing.all_wall_time``, ``timing.main_wall_time``,
+``timing.main_user_time``/``main_sys_time``, ``counter.checkpoint_count``,
+``fixed_interval_slicer.nr_slices``, plus energy and error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DetectedError:
+    """One detected divergence."""
+
+    kind: str                 # 'state_mismatch' | 'syscall_divergence' |
+    #                           'exception' | 'timeout' | 'exec_point_overrun'
+    segment_index: int
+    detail: str = ""
+    time: float = 0.0
+
+    def __repr__(self) -> str:
+        return f"DetectedError({self.kind}, segment={self.segment_index})"
+
+
+@dataclass
+class RunStats:
+    """Everything a Parallaft/RAFT run reports."""
+
+    # timing.* (virtual seconds)
+    all_wall_time: float = 0.0        # includes waiting for last checkers
+    main_wall_time: float = 0.0       # main process only
+    main_user_time: float = 0.0
+    main_sys_time: float = 0.0
+    checker_user_time: float = 0.0
+    checker_sys_time: float = 0.0
+
+    # counter.*
+    checkpoint_count: int = 0         # includes mmap-split checkpoints
+    nr_slices: int = 0                # fixed-interval slicer boundaries
+    syscalls_recorded: int = 0
+    syscalls_replayed: int = 0
+    signals_recorded: int = 0
+    nondet_recorded: int = 0
+    bytes_recorded: int = 0
+    segments_checked: int = 0
+    checker_retries: int = 0
+    checker_migrations: int = 0
+    checkers_finished_on_big: int = 0
+    mmap_splits: int = 0
+
+    # hwmon.* (joules)
+    energy_joules: float = 0.0
+
+    # memory (bytes, time-averaged by the sampler)
+    pss_samples: List[float] = field(default_factory=list)
+
+    # pacer telemetry
+    pacer_freq_history: List[float] = field(default_factory=list)
+
+    # work split: user cycles checkers spent on big vs little cores
+    checker_cycles_little: float = 0.0
+    checker_cycles_big: float = 0.0
+
+    errors: List[DetectedError] = field(default_factory=list)
+    exit_code: Optional[int] = None
+    stdout: str = ""
+
+    @property
+    def error_detected(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def big_core_work_fraction(self) -> float:
+        """Fraction of checker work done on big cores (paper §5.2.1 reports
+        41.7%/38.0%/50.0% for mcf/milc/lbm)."""
+        total = self.checker_cycles_little + self.checker_cycles_big
+        return self.checker_cycles_big / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Artifact-style flat key dump (appendix A.7)."""
+        return {
+            "timing.all_wall_time": self.all_wall_time,
+            "timing.main_wall_time": self.main_wall_time,
+            "timing.main_user_time": self.main_user_time,
+            "timing.main_sys_time": self.main_sys_time,
+            "counter.checkpoint_count": self.checkpoint_count,
+            "fixed_interval_slicer.nr_slices": self.nr_slices,
+            "counter.syscalls_recorded": self.syscalls_recorded,
+            "counter.syscalls_replayed": self.syscalls_replayed,
+            "counter.segments_checked": self.segments_checked,
+            "counter.checker_migrations": self.checker_migrations,
+            "hwmon.total_energy": self.energy_joules,
+            "errors": [f"{e.kind}@{e.segment_index}" for e in self.errors],
+            "exit_code": self.exit_code,
+        }

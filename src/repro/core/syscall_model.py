@@ -1,0 +1,104 @@
+"""Per-syscall model: classification and memory effects (paper §4.3.1).
+
+Parallaft keeps a model of each supported syscall, specifying which memory
+regions might be read or written given the arguments.  That model powers
+three things: checking that main and checker issue *the same* syscall
+including associated data, replaying output effects into checker memory,
+and classifying how each call is handled:
+
+* **globally-effectful** — effects outside the sphere of replication
+  (IO: read/write/open/close/kill).  Recorded from the main, *emulated*
+  (checked + replayed) for checkers so external effects happen once.
+* **process-locally-effectful** — affect only process-local state
+  (brk/mmap/mprotect/munmap/prctl/sigaction).  Passed through to the OS in
+  both main and checkers, with extra handling for mmap (§4.3.2).
+* **non-effectful** — no external effect but nondeterministic output
+  (getpid/gettimeofday/getrandom).  Recorded and replayed like
+  globally-effectful calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro import abi
+
+GLOBAL = "global"
+LOCAL = "local"
+NONEFFECTFUL = "noneffectful"
+
+_CLASSIFICATION = {
+    abi.SYS_READ: GLOBAL,
+    abi.SYS_WRITE: GLOBAL,
+    abi.SYS_OPEN: GLOBAL,
+    abi.SYS_CLOSE: GLOBAL,
+    abi.SYS_KILL: GLOBAL,
+    abi.SYS_MMAP: LOCAL,
+    abi.SYS_MPROTECT: LOCAL,
+    abi.SYS_MUNMAP: LOCAL,
+    abi.SYS_BRK: LOCAL,
+    abi.SYS_SIGACTION: LOCAL,
+    abi.SYS_PRCTL: LOCAL,
+    abi.SYS_GETPID: NONEFFECTFUL,
+    abi.SYS_GETTIMEOFDAY: NONEFFECTFUL,
+    abi.SYS_GETRANDOM: NONEFFECTFUL,
+}
+
+
+def classify(sysno: int) -> str:
+    """Classify a syscall; unknown syscalls are treated as non-effectful
+    (they fail with -ENOSYS deterministically)."""
+    return _CLASSIFICATION.get(sysno, NONEFFECTFUL)
+
+
+def input_region(sysno: int, args: Sequence[int]) -> Optional[Tuple[int, int]]:
+    """(address, length) of memory the syscall *reads*, or None.
+
+    This is the data that must be captured for comparison: a faulty main or
+    checker that computes a different ``write`` buffer must be caught.
+    """
+    if sysno == abi.SYS_WRITE:
+        return (args[1], max(0, args[2]))
+    if sysno == abi.SYS_OPEN:
+        return (args[0], max(0, args[1]))
+    return None
+
+
+def output_region(sysno: int, args: Sequence[int],
+                  result: int) -> Optional[Tuple[int, int]]:
+    """(address, length) of memory the syscall *wrote*, or None.
+
+    These bytes are captured after the main's call and injected into the
+    checker's memory at replay.
+    """
+    if sysno == abi.SYS_READ and result > 0:
+        return (args[1], result)
+    if sysno == abi.SYS_GETRANDOM and result > 0:
+        return (args[0], result)
+    return None
+
+
+def is_file_backed_mmap(sysno: int, args: Sequence[int]) -> bool:
+    """File-backed private mmaps force a segment split (paper §4.3.2):
+    the trailing checker's call would otherwise fail, because the file
+    descriptor is not live in the checker."""
+    if sysno != abi.SYS_MMAP:
+        return False
+    flags = args[3]
+    return not (flags & abi.MAP_ANONYMOUS)
+
+
+def is_shared_mmap(sysno: int, args: Sequence[int]) -> bool:
+    """Shared mappings are unsupported (paper §4.3.2 leaves them to future
+    work); the runtime refuses to protect programs that use them."""
+    if sysno != abi.SYS_MMAP:
+        return False
+    return bool(args[3] & abi.MAP_SHARED)
+
+
+def needs_aslr_fixup(sysno: int, args: Sequence[int]) -> bool:
+    """Anonymous mmap with a kernel-chosen address: ASLR would diverge the
+    checker's layout, so the replayed call is pinned with MAP_FIXED."""
+    if sysno != abi.SYS_MMAP:
+        return False
+    return args[0] == 0 and not (args[3] & abi.MAP_FIXED)

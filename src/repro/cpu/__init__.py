@@ -1,0 +1,44 @@
+"""CPU model: register state, interpreter, perf counters, nondet sources."""
+
+from repro.cpu.exceptions import Fault, FaultKind, Stop, StopReason
+from repro.cpu.interpreter import run
+from repro.cpu.nondet import (
+    CPUID_BIG,
+    CPUID_LITTLE,
+    MIDR_BIG,
+    MIDR_LITTLE,
+    SYSREG_CNTFRQ,
+    SYSREG_MIDR,
+    SYSREG_MPIDR,
+    NondetSource,
+)
+from repro.cpu.state import (
+    NO_OVERFLOW,
+    CpuContext,
+    RegisterFile,
+    from_unsigned,
+    to_unsigned,
+    wrap_signed,
+)
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "Stop",
+    "StopReason",
+    "run",
+    "NondetSource",
+    "SYSREG_MIDR",
+    "SYSREG_MPIDR",
+    "SYSREG_CNTFRQ",
+    "MIDR_BIG",
+    "MIDR_LITTLE",
+    "CPUID_BIG",
+    "CPUID_LITTLE",
+    "CpuContext",
+    "RegisterFile",
+    "NO_OVERFLOW",
+    "wrap_signed",
+    "to_unsigned",
+    "from_unsigned",
+]

@@ -1,0 +1,59 @@
+"""CPU stop reasons and architectural faults.
+
+The interpreter runs a process until something interesting happens and
+returns a :class:`Stop` describing it; the kernel/executor decides what to do
+(dispatch a syscall, notify a ptrace tracer, deliver a signal, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class StopReason(enum.Enum):
+    BUDGET = "budget"                    # quantum exhausted, nothing special
+    HALTED = "halted"                    # halt instruction retired
+    SYSCALL = "syscall"                  # stopped *before* a syscall executes
+    BREAKPOINT = "breakpoint"            # hardware breakpoint hit (pc match)
+    BRK = "brk"                          # brk instruction (binary patch site)
+    COUNTER_OVERFLOW = "counter_overflow"  # armed branch counter fired (+skid)
+    INSTR_OVERFLOW = "instr_overflow"    # armed instruction counter fired
+    NONDET = "nondet"                    # rdtsc/mrs/cpuid trapped
+    FAULT = "fault"                      # architectural fault (see Stop.fault)
+
+
+class FaultKind(enum.Enum):
+    PAGE_FAULT = "page_fault"            # -> SIGSEGV
+    DIVIDE_BY_ZERO = "divide_by_zero"    # -> SIGFPE
+    ILLEGAL_INSTRUCTION = "illegal"      # -> SIGILL
+
+
+class Fault:
+    """Details of an architectural fault."""
+
+    __slots__ = ("kind", "address", "detail")
+
+    def __init__(self, kind: FaultKind, address: int = 0, detail: str = ""):
+        self.kind = kind
+        self.address = address
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"Fault({self.kind.value}, addr={self.address:#x}, {self.detail})"
+
+
+class Stop:
+    """Why the interpreter returned, plus how much work it did."""
+
+    __slots__ = ("reason", "executed", "fault")
+
+    def __init__(self, reason: StopReason, executed: int,
+                 fault: Optional[Fault] = None):
+        self.reason = reason
+        self.executed = executed
+        self.fault = fault
+
+    def __repr__(self) -> str:
+        extra = f", fault={self.fault}" if self.fault else ""
+        return f"Stop({self.reason.value}, executed={self.executed}{extra})"

@@ -1,0 +1,66 @@
+"""Nondeterministic instruction sources: rdtsc, mrs, cpuid.
+
+These are the architectural reads that diverge between the main process and
+a checker replaying the same code (paper §4.3.4): the timestamp counter
+advances with wall time, and system registers such as AArch64 ``MIDR_EL1``
+or x86 ``cpuid`` identify the *current core* — which on a heterogeneous
+processor differs between a big-core main and a little-core checker.
+Parallaft must therefore trap and record/replay them; running them natively
+in a checker produces a guaranteed divergence, which our tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: System-register ids for the ``mrs`` instruction.
+SYSREG_MIDR = 0      # core model identification (differs big vs little)
+SYSREG_MPIDR = 1     # core index
+SYSREG_CNTFRQ = 2    # counter frequency
+
+#: MIDR-style model values per core type.
+MIDR_BIG = 0x611F_0230      # "Avalanche"-class
+MIDR_LITTLE = 0x611F_0220   # "Blizzard"-class
+
+CPUID_BIG = 0x000B_06F2     # hybrid P-core-style signature
+CPUID_LITTLE = 0x000B_06E1  # hybrid E-core-style signature
+
+
+class NondetSource:
+    """Per-process view of the machine's nondeterministic state.
+
+    ``core_provider`` returns the core the process is currently scheduled
+    on (or ``None`` before first schedule); ``time_provider`` returns the
+    current virtual time in seconds.
+    """
+
+    def __init__(self, time_provider, core_provider, tsc_hz: float = 24_000_000.0):
+        self._time_provider = time_provider
+        self._core_provider = core_provider
+        self._tsc_hz = tsc_hz
+        self._tsc_bump = 0
+
+    def read_tsc(self) -> int:
+        """Timestamp counter: virtual time scaled, strictly monotonic."""
+        self._tsc_bump += 1
+        return int(self._time_provider() * self._tsc_hz) + self._tsc_bump
+
+    def read_sysreg(self, sysreg: int) -> int:
+        core = self._core_provider()
+        if sysreg == SYSREG_MIDR:
+            if core is None:
+                return MIDR_BIG
+            return MIDR_BIG if core.is_big else MIDR_LITTLE
+        if sysreg == SYSREG_MPIDR:
+            return 0 if core is None else core.index
+        if sysreg == SYSREG_CNTFRQ:
+            return int(self._tsc_hz)
+        # Unknown system registers read as zero (the kernel would trap EL1+
+        # reads; see paper footnote 9).
+        return 0
+
+    def cpuid(self) -> int:
+        core = self._core_provider()
+        if core is None:
+            return CPUID_BIG
+        return CPUID_BIG if core.is_big else CPUID_LITTLE

@@ -1,0 +1,170 @@
+"""Architectural CPU state: register files, PC, counters, breakpoints.
+
+A :class:`CpuContext` is everything the interpreter needs to run one
+process: registers, the program counter, hardware breakpoints, perf-counter
+state and the nondeterministic-instruction trapping flag.  It is cloned on
+``fork`` and snapshotted/compared by the program-state comparator
+(paper §4.4: "registers are compared as well").
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa.registers import NUM_FPR, NUM_GPR, NUM_VEC, VEC_LANES
+
+#: Sentinel for "no overflow armed": larger than any reachable count.
+NO_OVERFLOW = 1 << 62
+
+_TWO63 = 1 << 63
+_TWO64 = 1 << 64
+
+
+def wrap_signed(value: int) -> int:
+    """Wrap an int to signed 64-bit two's-complement range."""
+    return ((value + _TWO63) % _TWO64) - _TWO63
+
+
+def to_unsigned(value: int) -> int:
+    return value & (_TWO64 - 1)
+
+
+def from_unsigned(value: int) -> int:
+    value &= _TWO64 - 1
+    return value - _TWO64 if value >= _TWO63 else value
+
+
+class RegisterFile:
+    """GPR/FPR/vector register files.
+
+    GPRs and vector lanes hold signed 64-bit values; FPRs hold doubles.
+    """
+
+    __slots__ = ("gprs", "fprs", "vecs")
+
+    def __init__(self):
+        self.gprs: List[int] = [0] * NUM_GPR
+        self.fprs: List[float] = [0.0] * NUM_FPR
+        self.vecs: List[List[int]] = [[0] * VEC_LANES for _ in range(NUM_VEC)]
+
+    def clone(self) -> "RegisterFile":
+        copy = RegisterFile()
+        copy.gprs = list(self.gprs)
+        copy.fprs = list(self.fprs)
+        copy.vecs = [list(lane) for lane in self.vecs]
+        return copy
+
+    def snapshot(self) -> Tuple:
+        """Hashable, comparable snapshot of all registers."""
+        return (tuple(self.gprs), tuple(self.fprs),
+                tuple(tuple(v) for v in self.vecs))
+
+    def load_snapshot(self, snap: Tuple) -> None:
+        gprs, fprs, vecs = snap
+        self.gprs = list(gprs)
+        self.fprs = list(fprs)
+        self.vecs = [list(v) for v in vecs]
+
+    def flip_bit(self, file: str, index: int, bit: int) -> None:
+        """Flip one bit in one register — the paper's fault model (§5.6)."""
+        if file == "gpr":
+            self.gprs[index] = from_unsigned(to_unsigned(self.gprs[index]) ^ (1 << bit))
+        elif file == "fpr":
+            import struct
+            raw = struct.unpack("<Q", struct.pack("<d", self.fprs[index]))[0]
+            raw ^= 1 << bit
+            self.fprs[index] = struct.unpack("<d", struct.pack("<Q", raw))[0]
+        elif file == "vec":
+            lane, lane_bit = divmod(bit, 64)
+            value = to_unsigned(self.vecs[index][lane]) ^ (1 << lane_bit)
+            self.vecs[index][lane] = from_unsigned(value)
+        else:
+            raise ValueError(f"unknown register file {file!r}")
+
+
+class CpuContext:
+    """Per-process architectural and microarchitectural CPU state."""
+
+    __slots__ = (
+        "regs", "pc", "halted",
+        "instr_retired", "branches_retired", "far_branches_retired",
+        "mem_ops_retired", "instr_overcount",
+        "branch_overflow_target", "overflow_deliver_at", "instr_overflow_at",
+        "breakpoints", "bp_skip_pc", "trap_nondet",
+    )
+
+    def __init__(self):
+        self.regs = RegisterFile()
+        self.pc = 0
+        self.halted = False
+        # Retirement counters (perf-event substrate).
+        self.instr_retired = 0
+        self.branches_retired = 0          # near branches: deterministic
+        self.far_branches_retired = 0      # syscalls etc.
+        self.mem_ops_retired = 0
+        self.instr_overcount = 0           # phantom counts (interrupt returns)
+        # Armed overflows. branch_overflow_target is an absolute near-branch
+        # count; when crossed, delivery is scheduled at an absolute
+        # instruction count (models counter *skid*, paper §4.2.2).
+        self.branch_overflow_target = NO_OVERFLOW
+        self.overflow_deliver_at = NO_OVERFLOW
+        self.instr_overflow_at = NO_OVERFLOW
+        # Debug support.
+        self.breakpoints: Set[int] = set()
+        self.bp_skip_pc: Optional[int] = None
+        self.trap_nondet = False
+
+    def clone(self) -> "CpuContext":
+        copy = CpuContext()
+        copy.regs = self.regs.clone()
+        copy.pc = self.pc
+        copy.halted = self.halted
+        copy.instr_retired = self.instr_retired
+        copy.branches_retired = self.branches_retired
+        copy.far_branches_retired = self.far_branches_retired
+        copy.mem_ops_retired = self.mem_ops_retired
+        copy.instr_overcount = self.instr_overcount
+        # Armed overflows and breakpoints are per-perf-event / per-debug
+        # session; a forked child starts with none.
+        copy.trap_nondet = self.trap_nondet
+        return copy
+
+    # -- perf-event-style readings ---------------------------------------
+
+    def read_counter(self, kind: str, include_far: bool = False,
+                     include_overcount: bool = True) -> int:
+        """Read a counter the way perf_event would expose it.
+
+        ``instructions`` includes nondeterministic overcount (paper §4.2.1's
+        motivation for branch counters); ``branches`` is the deterministic
+        near-branch count unless ``include_far`` is set.
+        """
+        if kind == "instructions":
+            value = self.instr_retired
+            if include_overcount:
+                value += self.instr_overcount
+            return value
+        if kind == "branches":
+            value = self.branches_retired
+            if include_far:
+                value += self.far_branches_retired
+            return value
+        if kind == "mem_ops":
+            return self.mem_ops_retired
+        raise ValueError(f"unknown counter {kind!r}")
+
+    def arm_branch_overflow(self, target_count: int) -> None:
+        """Stop (after skid) once near-branch count reaches ``target_count``."""
+        self.branch_overflow_target = target_count
+        self.overflow_deliver_at = NO_OVERFLOW
+
+    def disarm_branch_overflow(self) -> None:
+        self.branch_overflow_target = NO_OVERFLOW
+        self.overflow_deliver_at = NO_OVERFLOW
+
+    def arm_instr_overflow(self, target_count: int) -> None:
+        """Stop once (overcounted) instruction count reaches ``target_count``."""
+        self.instr_overflow_at = target_count
+
+    def disarm_instr_overflow(self) -> None:
+        self.instr_overflow_at = NO_OVERFLOW

@@ -1,0 +1,17 @@
+"""Fault injection: campaigns, outcome classification (paper §5.6)."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.outcomes import (
+    CampaignResult,
+    ERROR_KIND_TO_OUTCOME,
+    InjectionResult,
+    Outcome,
+)
+
+__all__ = [
+    "FaultInjector",
+    "CampaignResult",
+    "InjectionResult",
+    "Outcome",
+    "ERROR_KIND_TO_OUTCOME",
+]

@@ -1,0 +1,151 @@
+"""Fault injection campaigns (paper §5.6).
+
+Methodology, mirrored from the paper:
+
+1. A profile run measures each segment's checker execution time ``t``
+   without faults.
+2. For each segment, the program is re-run with one injection: at a point
+   drawn uniformly from ``[0, 1.1 t)`` of the target checker's execution, a
+   random bit is flipped in a random register (general-purpose, floating
+   point or vector).  Injections that miss (the checker finished first) are
+   discarded and retried.
+3. The run's outcome is classified as detected / exception / timeout /
+   benign (see :mod:`repro.faults.outcomes`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import Parallaft, ParallaftConfig
+from repro.core.stats import RunStats
+from repro.faults.outcomes import (
+    CampaignResult,
+    ERROR_KIND_TO_OUTCOME,
+    InjectionResult,
+    Outcome,
+)
+from repro.isa.program import Program
+from repro.isa.registers import all_fault_sites
+from repro.sim.platform import PlatformConfig
+
+
+class FaultInjector:
+    """Runs injection campaigns against one program/config combination."""
+
+    def __init__(self, program: Program,
+                 config_factory: Callable[[], ParallaftConfig],
+                 platform_factory: Callable[[], PlatformConfig],
+                 files: Optional[Dict[str, bytes]] = None,
+                 seed: int = 0, quantum: int = 2000):
+        self.program = program
+        self.config_factory = config_factory
+        self.platform_factory = platform_factory
+        self.files = files or {}
+        self.seed = seed
+        self.quantum = quantum
+        self.rng = random.Random(seed * 7919 + 13)
+        self._sites = all_fault_sites()
+
+    def _fresh_runtime(self) -> Parallaft:
+        return Parallaft(self.program, config=self.config_factory(),
+                         platform=self.platform_factory(), files=self.files,
+                         seed=self.seed, quantum=self.quantum)
+
+    # -- profile ----------------------------------------------------------
+
+    def profile(self) -> Tuple[List[float], str]:
+        """Fault-free run: per-segment checker times + reference output."""
+        runtime = self._fresh_runtime()
+        stats = runtime.run()
+        if stats.error_detected:
+            raise RuntimeError(
+                f"profile run detected errors: {stats.errors}")
+        times = []
+        for segment in runtime.segments:
+            checker = segment.checker
+            times.append(checker.user_time if checker is not None else 0.0)
+        return times, stats.stdout
+
+    # -- single injection ----------------------------------------------------
+
+    def inject_once(self, segment_index: int, inject_time: float,
+                    site: Tuple[str, int, int],
+                    reference_output: str) -> Optional[InjectionResult]:
+        """Run the program, flipping one register bit in one checker.
+
+        Returns None when the injection missed (checker finished before the
+        injection point), mirroring the paper's discarded injections.
+        """
+        runtime = self._fresh_runtime()
+        fired = [False]
+        file_name, reg_index, bit = site
+
+        def hook(proc, role: str) -> None:
+            if fired[0] or role != "checker":
+                return
+            if segment_index >= len(runtime.segments):
+                return
+            segment = runtime.segments[segment_index]
+            if segment.checker is not proc:
+                return
+            if proc.user_time >= inject_time:
+                proc.cpu.regs.flip_bit(file_name, reg_index, bit)
+                fired[0] = True
+
+        runtime.quantum_hooks.append(hook)
+        stats = runtime.run()
+        if not fired[0]:
+            return None
+        outcome = self._classify(stats, reference_output)
+        return InjectionResult(
+            outcome=outcome, register_file=file_name,
+            register_index=reg_index, bit=bit,
+            segment_index=segment_index, inject_time=inject_time,
+            detail=stats.errors[0].detail if stats.errors else "")
+
+    @staticmethod
+    def _classify(stats: RunStats, reference_output: str) -> Outcome:
+        if stats.errors:
+            kind = stats.errors[0].kind
+            return ERROR_KIND_TO_OUTCOME.get(kind, Outcome.DETECTED)
+        if stats.stdout != reference_output:
+            # Should be unreachable: faults are injected into checkers, so
+            # the main's output is never corrupted; kept as a tripwire.
+            return Outcome.DETECTED
+        return Outcome.BENIGN
+
+    # -- campaign ----------------------------------------------------------------
+
+    def run_campaign(self, injections_per_segment: int = 5,
+                     max_attempts_per_injection: int = 8,
+                     benchmark_name: str = "workload",
+                     max_segments: Optional[int] = None) -> CampaignResult:
+        """The paper's campaign: per segment, ``injections_per_segment``
+        injections at uniform points in [0, 1.1 t).
+
+        ``max_segments`` samples that many segments evenly across the run
+        instead of injecting into every segment (each injection costs a
+        full program run, exactly as in the paper's methodology).
+        """
+        times, reference = self.profile()
+        campaign = CampaignResult(benchmark=benchmark_name)
+        indices = [i for i, t in enumerate(times) if t > 0]
+        if max_segments is not None and len(indices) > max_segments:
+            stride = len(indices) / max_segments
+            indices = [indices[int(i * stride)] for i in range(max_segments)]
+        for segment_index in indices:
+            t_profile = times[segment_index]
+            for _ in range(injections_per_segment):
+                result = None
+                for _attempt in range(max_attempts_per_injection):
+                    inject_time = self.rng.uniform(0, 1.1 * t_profile)
+                    site = self.rng.choice(self._sites)
+                    result = self.inject_once(segment_index, inject_time,
+                                              site, reference)
+                    if result is not None:
+                        break
+                if result is not None:
+                    campaign.injections.append(result)
+        return campaign

@@ -1,0 +1,81 @@
+"""Fault-injection outcome classification (paper §5.6).
+
+* **Detected** — Parallaft's segment-end comparison (or syscall/data
+  comparison) flagged the fault.
+* **Exception** — the fault caused an exception in the checker (a special
+  case of detected).
+* **Timeout** — the checker exceeded the 1.1x instruction budget, i.e.
+  control flow was corrupted so it never reached the end point (also
+  detected).
+* **Benign** — the fault had no observable effect: the program finished
+  with correct output and all segment checks passed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Outcome(enum.Enum):
+    DETECTED = "detected"
+    EXCEPTION = "exception"
+    TIMEOUT = "timeout"
+    BENIGN = "benign"
+
+    @property
+    def is_detected(self) -> bool:
+        """Every class except benign counts as a successful detection."""
+        return self is not Outcome.BENIGN
+
+
+#: Map runtime error kinds to injection outcomes.
+ERROR_KIND_TO_OUTCOME = {
+    "state_mismatch": Outcome.DETECTED,
+    "syscall_divergence": Outcome.DETECTED,
+    "exec_point_overrun": Outcome.DETECTED,
+    "exception": Outcome.EXCEPTION,
+    "timeout": Outcome.TIMEOUT,
+}
+
+
+@dataclass
+class InjectionResult:
+    """One fault injection and what happened."""
+
+    outcome: Outcome
+    register_file: str
+    register_index: int
+    bit: int
+    segment_index: int
+    inject_time: float
+    detail: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of a fault-injection campaign on one workload."""
+
+    benchmark: str
+    injections: List[InjectionResult] = field(default_factory=list)
+
+    def count(self, outcome: Outcome) -> int:
+        return sum(1 for r in self.injections if r.outcome == outcome)
+
+    @property
+    def total(self) -> int:
+        return len(self.injections)
+
+    def fraction(self, outcome: Outcome) -> float:
+        return self.count(outcome) / self.total if self.total else 0.0
+
+    @property
+    def detected_fraction(self) -> float:
+        """All non-benign outcomes: the paper reports 100% of non-benign
+        faults detected."""
+        return sum(1 for r in self.injections
+                   if r.outcome.is_detected) / self.total if self.total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {outcome.value: self.fraction(outcome) for outcome in Outcome}

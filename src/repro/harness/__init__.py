@@ -1,0 +1,39 @@
+"""Experiment harness: runners, overhead attribution, figure reproduction."""
+
+from repro.harness.overhead import OverheadBreakdown, breakdown
+from repro.harness.periods import DURATION_COMPRESSION, effective_period
+from repro.harness.report import (
+    render_breakdown,
+    render_injection,
+    render_memory,
+    render_overheads,
+    render_period_sweep,
+)
+from repro.harness.runner import (
+    BenchmarkResult,
+    InputResult,
+    energy_overhead_pct,
+    overhead_pct,
+    run_baseline,
+    run_protected,
+    suite_geomean,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "InputResult",
+    "run_baseline",
+    "run_protected",
+    "overhead_pct",
+    "energy_overhead_pct",
+    "suite_geomean",
+    "OverheadBreakdown",
+    "breakdown",
+    "DURATION_COMPRESSION",
+    "effective_period",
+    "render_overheads",
+    "render_breakdown",
+    "render_memory",
+    "render_period_sweep",
+    "render_injection",
+]

@@ -1,0 +1,58 @@
+"""Performance-overhead breakdown (paper §5.2.1, figure 6).
+
+The four components, attributed exactly as the paper measures them:
+
+* **fork_and_cow** — the difference in *system* CPU time between the
+  Parallaft run and the baseline run (fork, COW resolution, dirty clearing
+  are all kernel work on the main's critical path);
+* **resource_contention** — the difference in *user* CPU time (LLC/DRAM
+  contention inflates the main's cycles per instruction);
+* **last_checker_sync** — ``all_wall_time - main_wall_time`` (waiting for
+  trailing checkers after the main finishes);
+* **runtime_work** — the remainder of the total overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.harness.runner import BenchmarkResult
+
+
+@dataclass
+class OverheadBreakdown:
+    benchmark: str
+    total_pct: float
+    fork_and_cow_pct: float
+    resource_contention_pct: float
+    last_checker_sync_pct: float
+    runtime_work_pct: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "total": self.total_pct,
+            "fork_and_cow": self.fork_and_cow_pct,
+            "resource_contention": self.resource_contention_pct,
+            "last_checker_sync": self.last_checker_sync_pct,
+            "runtime_work": self.runtime_work_pct,
+        }
+
+
+def breakdown(protected: BenchmarkResult,
+              baseline: BenchmarkResult) -> OverheadBreakdown:
+    base_wall = baseline.wall_time
+    total = (protected.wall_time - base_wall) / base_wall * 100.0
+    fork_cow = (protected.sys_time - baseline.sys_time) / base_wall * 100.0
+    contention = (protected.user_time - baseline.user_time) / base_wall * 100.0
+    last_sync = (protected.wall_time
+                 - protected.main_wall_time) / base_wall * 100.0
+    runtime_work = total - fork_cow - contention - last_sync
+    return OverheadBreakdown(
+        benchmark=protected.benchmark,
+        total_pct=total,
+        fork_and_cow_pct=max(0.0, fork_cow),
+        resource_contention_pct=max(0.0, contention),
+        last_checker_sync_pct=max(0.0, last_sync),
+        runtime_work_pct=runtime_work,
+    )

@@ -1,0 +1,103 @@
+"""Plain-text report rendering for experiment results.
+
+Formats the structures produced by :mod:`repro.harness.figures` into the
+aligned tables the paper's figures plot — usable from scripts, notebooks
+and the bench suite alike (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.units import BILLION, geomean, geomean_overhead_pct
+from repro.faults import CampaignResult, Outcome
+from repro.harness.figures import PeriodSweepPoint, SuiteComparison
+from repro.harness.overhead import OverheadBreakdown
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_overheads(comparison: SuiteComparison,
+                     metric: str = "perf") -> str:
+    """Figure 5/7-style table: per-benchmark overhead + geomean."""
+    if metric == "perf":
+        para = comparison.perf_overheads("parallaft")
+        raft = comparison.perf_overheads("raft")
+        title = "performance overhead"
+    else:
+        para = comparison.energy_overheads("parallaft")
+        raft = comparison.energy_overheads("raft")
+        title = "energy overhead"
+    rows = [(name, f"+{para[name]:.1f}%", f"+{raft[name]:.1f}%")
+            for name in sorted(para)]
+    rows.append(("geomean",
+                 f"+{geomean_overhead_pct(para.values()):.1f}%",
+                 f"+{geomean_overhead_pct(raft.values()):.1f}%"))
+    return (f"{title} ({comparison.platform})\n"
+            + _table(("benchmark", "parallaft", "raft"), rows))
+
+
+def render_breakdown(breakdowns: Dict[str, OverheadBreakdown]) -> str:
+    """Figure 6-style table."""
+    rows = [(name, f"{bd.total_pct:.1f}", f"{bd.fork_and_cow_pct:.1f}",
+             f"{bd.resource_contention_pct:.1f}",
+             f"{bd.last_checker_sync_pct:.1f}",
+             f"{bd.runtime_work_pct:.1f}")
+            for name, bd in sorted(breakdowns.items())]
+    return _table(("benchmark", "total%", "fork+cow", "contention",
+                   "last-sync", "runtime"), rows)
+
+
+def render_memory(comparison: SuiteComparison) -> str:
+    """Figure 8-style table."""
+    para = comparison.memory_normalized("parallaft")
+    raft = comparison.memory_normalized("raft")
+    rows = [(name, f"{para[name]:.2f}x", f"{raft[name]:.2f}x")
+            for name in sorted(para)]
+    rows.append(("geomean",
+                 f"{geomean(v for v in para.values() if v > 0):.2f}x",
+                 f"{geomean(v for v in raft.values() if v > 0):.2f}x"))
+    return "normalized memory (PSS)\n" + _table(
+        ("benchmark", "parallaft", "raft"), rows)
+
+
+def render_period_sweep(sweep: Dict[str, List[PeriodSweepPoint]]) -> str:
+    """Figure 9-style table."""
+    blocks = []
+    for name, points in sweep.items():
+        rows = [(p.label, f"{p.total_pct:.1f}", f"{p.fork_and_cow_pct:.1f}",
+                 f"{p.last_checker_sync_pct:.1f}") for p in points]
+        best = min(points, key=lambda p: p.total_pct)
+        blocks.append(f"{name} (sweet spot {best.paper_period / BILLION:g}B)\n"
+                      + _table(("period", "total%", "fork+cow", "last-sync"),
+                               rows))
+    return "\n\n".join(blocks)
+
+
+def render_injection(campaigns: Dict[str, CampaignResult]) -> str:
+    """Figure 10-style table."""
+    rows = []
+    for name, campaign in sorted(campaigns.items()):
+        rows.append((name, campaign.total,
+                     *(f"{100 * campaign.fraction(o):.1f}%"
+                       for o in Outcome)))
+    total = sum(c.total for c in campaigns.values())
+    if total:
+        overall = tuple(
+            f"{100 * sum(c.count(o) for c in campaigns.values()) / total:.1f}%"
+            for o in Outcome)
+        rows.append(("overall", total, *overall))
+    return _table(("benchmark", "n", "detected", "exception", "timeout",
+                   "benign"), rows)

@@ -1,0 +1,171 @@
+"""Experiment runner: execute benchmarks under baseline / Parallaft / RAFT.
+
+Implements the paper's measurement methodology (§5.1):
+
+* **baseline** — the program alone on a big core; wall time, user/sys CPU
+  time and energy integrated over the run.
+* **parallaft** / **raft** — the same program under the runtime; performance
+  overhead is wall-time relative to baseline, energy overhead likewise.
+* Benchmarks with multiple inputs run each input as its own process and sum
+  (SPEC-style); memory runs sample summed PSS every 0.5 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.units import geomean_overhead_pct
+from repro.core import Parallaft, ParallaftConfig, RuntimeMode
+from repro.core.stats import RunStats
+from repro.kernel import Kernel
+from repro.sim import Executor, PlatformConfig, apple_m2
+from repro.workloads.registry import Benchmark
+
+
+@dataclass
+class InputResult:
+    """Measurements for one benchmark input (one process)."""
+
+    wall_time: float
+    main_wall_time: float
+    user_time: float
+    sys_time: float
+    energy_joules: float
+    stats: Optional[RunStats] = None
+    pss_samples: List[float] = field(default_factory=list)
+
+
+@dataclass
+class BenchmarkResult:
+    """Summed measurements across a benchmark's inputs."""
+
+    benchmark: str
+    mode: str
+    inputs: List[InputResult] = field(default_factory=list)
+
+    @property
+    def wall_time(self) -> float:
+        return sum(r.wall_time for r in self.inputs)
+
+    @property
+    def main_wall_time(self) -> float:
+        return sum(r.main_wall_time for r in self.inputs)
+
+    @property
+    def user_time(self) -> float:
+        return sum(r.user_time for r in self.inputs)
+
+    @property
+    def sys_time(self) -> float:
+        return sum(r.sys_time for r in self.inputs)
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(r.energy_joules for r in self.inputs)
+
+    @property
+    def pss_samples(self) -> List[float]:
+        samples: List[float] = []
+        for r in self.inputs:
+            samples.extend(r.pss_samples)
+        return samples
+
+    def mean_pss(self) -> float:
+        samples = self.pss_samples
+        return sum(samples) / len(samples) if samples else 0.0
+
+
+def run_baseline(bench: Benchmark, platform: Optional[PlatformConfig] = None,
+                 scale: int = 1, seed_base: int = 0, quantum: int = 2000,
+                 sample_memory: bool = False) -> BenchmarkResult:
+    """Run a benchmark natively (no runtime) and collect measurements."""
+    platform = platform or apple_m2()
+    result = BenchmarkResult(bench.name, "baseline")
+    for seed in bench.input_seeds():
+        kernel = Kernel(page_size=platform.page_size, seed=seed_base + seed)
+        executor = Executor(kernel, platform, quantum=quantum)
+        source, files = bench.build(scale, seed)
+        for path, data in files.items():
+            kernel.vfs.register(path, data)
+        from repro.minic import compile_source
+        proc = kernel.spawn(compile_source(source, name=bench.name))
+        executor.schedule_default(proc)
+        pss: List[float] = []
+        if sample_memory:
+            executor.add_sampler(
+                0.5, lambda _t, p=proc: pss.append(
+                    p.mem.pss_bytes() if p.alive else 0.0))
+        executor.run()
+        if proc.exit_code != 0:
+            raise RuntimeError(
+                f"{bench.name} seed {seed} exited with {proc.exit_code}")
+        wall = (proc.exit_time or executor.wall_time()) - proc.spawn_time
+        result.inputs.append(InputResult(
+            wall_time=wall,
+            main_wall_time=wall,
+            user_time=proc.user_time,
+            sys_time=proc.sys_time,
+            energy_joules=executor.total_energy_joules(wall=wall),
+            pss_samples=pss,
+        ))
+    return result
+
+
+def run_protected(bench: Benchmark, mode: str = "parallaft",
+                  platform: Optional[PlatformConfig] = None,
+                  config: Optional[ParallaftConfig] = None,
+                  scale: int = 1, seed_base: int = 0, quantum: int = 2000,
+                  sample_memory: bool = False) -> BenchmarkResult:
+    """Run a benchmark under Parallaft or the RAFT model."""
+    platform = platform or apple_m2()
+    result = BenchmarkResult(bench.name, mode)
+    for seed in bench.input_seeds():
+        if config is not None:
+            import copy
+            run_config = copy.deepcopy(config)
+        elif mode == "raft":
+            run_config = ParallaftConfig.raft()
+        else:
+            run_config = ParallaftConfig()
+        source, files = bench.build(scale, seed)
+        from repro.minic import compile_source
+        runtime = Parallaft(compile_source(source, name=bench.name),
+                            config=run_config, platform=platform,
+                            files=files, seed=seed_base + seed,
+                            quantum=quantum)
+        if sample_memory:
+            runtime.enable_memory_sampling(0.5)
+        stats = runtime.run()
+        if stats.error_detected:
+            raise RuntimeError(
+                f"{bench.name} seed {seed} false positive: {stats.errors}")
+        if stats.exit_code != 0:
+            raise RuntimeError(
+                f"{bench.name} seed {seed} exited with {stats.exit_code}")
+        result.inputs.append(InputResult(
+            wall_time=stats.all_wall_time,
+            main_wall_time=stats.main_wall_time,
+            user_time=stats.main_user_time,
+            sys_time=stats.main_sys_time,
+            energy_joules=stats.energy_joules,
+            stats=stats,
+            pss_samples=list(stats.pss_samples),
+        ))
+    return result
+
+
+def overhead_pct(protected: BenchmarkResult,
+                 baseline: BenchmarkResult) -> float:
+    """Wall-time overhead percentage vs baseline."""
+    return (protected.wall_time / baseline.wall_time - 1.0) * 100.0
+
+
+def energy_overhead_pct(protected: BenchmarkResult,
+                        baseline: BenchmarkResult) -> float:
+    return (protected.energy_joules / baseline.energy_joules - 1.0) * 100.0
+
+
+def suite_geomean(overheads: Dict[str, float]) -> float:
+    """Geometric-mean overhead across benchmarks, paper-style."""
+    return geomean_overhead_pct(overheads.values())

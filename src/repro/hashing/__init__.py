@@ -1,0 +1,6 @@
+"""Hashing primitives used by the program-state comparator (paper §4.4)."""
+
+from repro.hashing.xxh3 import Xxh3_64, xxh3_64
+from repro.hashing.xxhash64 import Xxh64, xxh64
+
+__all__ = ["xxh64", "Xxh64", "xxh3_64", "Xxh3_64"]

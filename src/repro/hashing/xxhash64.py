@@ -1,0 +1,173 @@
+"""Pure-Python implementation of XXH64.
+
+Parallaft hashes the contents of dirty pages with xxHash and compares the
+64-bit digests instead of copying memory between processes (paper §4.4).  The
+paper uses the XXH3-64b variant; we provide the classic XXH64 here (exact,
+spec-conformant) and a striped multi-lane variant in
+:mod:`repro.hashing.xxh3` that models XXH3's wide accumulation.
+
+Reference: https://github.com/Cyan4973/xxHash/blob/dev/doc/xxhash_spec.md
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+PRIME64_1 = 11400714785074694791
+PRIME64_2 = 14029467366897019727
+PRIME64_3 = 1609587929392839161
+PRIME64_4 = 9650029242287828579
+PRIME64_5 = 2870177450012600261
+
+
+def _rotl64(value: int, count: int) -> int:
+    return ((value << count) | (value >> (64 - count))) & _MASK64
+
+
+def _round(acc: int, lane: int) -> int:
+    acc = (acc + lane * PRIME64_2) & _MASK64
+    acc = _rotl64(acc, 31)
+    return (acc * PRIME64_1) & _MASK64
+
+
+def _merge_round(acc: int, val: int) -> int:
+    val = _round(0, val)
+    acc ^= val
+    return (acc * PRIME64_1 + PRIME64_4) & _MASK64
+
+
+def _avalanche(value: int) -> int:
+    value ^= value >> 33
+    value = (value * PRIME64_2) & _MASK64
+    value ^= value >> 29
+    value = (value * PRIME64_3) & _MASK64
+    value ^= value >> 32
+    return value
+
+
+def xxh64(data: bytes, seed: int = 0) -> int:
+    """Compute the XXH64 digest of ``data`` with ``seed``.
+
+    >>> hex(xxh64(b""))
+    '0xef46db3751d8e999'
+    """
+    seed &= _MASK64
+    length = len(data)
+    offset = 0
+
+    if length >= 32:
+        acc1 = (seed + PRIME64_1 + PRIME64_2) & _MASK64
+        acc2 = (seed + PRIME64_2) & _MASK64
+        acc3 = seed
+        acc4 = (seed - PRIME64_1) & _MASK64
+
+        limit = length - 32
+        while offset <= limit:
+            lanes = struct.unpack_from("<4Q", data, offset)
+            acc1 = _round(acc1, lanes[0])
+            acc2 = _round(acc2, lanes[1])
+            acc3 = _round(acc3, lanes[2])
+            acc4 = _round(acc4, lanes[3])
+            offset += 32
+
+        acc = (
+            _rotl64(acc1, 1) + _rotl64(acc2, 7) + _rotl64(acc3, 12) + _rotl64(acc4, 18)
+        ) & _MASK64
+        acc = _merge_round(acc, acc1)
+        acc = _merge_round(acc, acc2)
+        acc = _merge_round(acc, acc3)
+        acc = _merge_round(acc, acc4)
+    else:
+        acc = (seed + PRIME64_5) & _MASK64
+
+    acc = (acc + length) & _MASK64
+
+    while offset + 8 <= length:
+        (lane,) = struct.unpack_from("<Q", data, offset)
+        acc ^= _round(0, lane)
+        acc = (_rotl64(acc, 27) * PRIME64_1 + PRIME64_4) & _MASK64
+        offset += 8
+
+    if offset + 4 <= length:
+        (lane,) = struct.unpack_from("<I", data, offset)
+        acc ^= (lane * PRIME64_1) & _MASK64
+        acc = (_rotl64(acc, 23) * PRIME64_2 + PRIME64_3) & _MASK64
+        offset += 4
+
+    while offset < length:
+        acc ^= (data[offset] * PRIME64_5) & _MASK64
+        acc = (_rotl64(acc, 11) * PRIME64_1) & _MASK64
+        offset += 1
+
+    return _avalanche(acc)
+
+
+class Xxh64:
+    """Incremental (streaming) XXH64, mirroring the one-shot :func:`xxh64`.
+
+    The checker-side "injected hasher" feeds dirty pages one at a time, so a
+    streaming interface avoids concatenating page contents.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed & _MASK64
+        self._buffer = bytearray()
+        self._total_length = 0
+        self._acc1 = (self._seed + PRIME64_1 + PRIME64_2) & _MASK64
+        self._acc2 = (self._seed + PRIME64_2) & _MASK64
+        self._acc3 = self._seed
+        self._acc4 = (self._seed - PRIME64_1) & _MASK64
+
+    def update(self, data: bytes) -> "Xxh64":
+        self._total_length += len(data)
+        self._buffer.extend(data)
+        usable = len(self._buffer) - (len(self._buffer) % 32)
+        if usable:
+            view = bytes(self._buffer[:usable])
+            for offset in range(0, usable, 32):
+                lanes = struct.unpack_from("<4Q", view, offset)
+                self._acc1 = _round(self._acc1, lanes[0])
+                self._acc2 = _round(self._acc2, lanes[1])
+                self._acc3 = _round(self._acc3, lanes[2])
+                self._acc4 = _round(self._acc4, lanes[3])
+            del self._buffer[:usable]
+        return self
+
+    def digest(self) -> int:
+        if self._total_length >= 32:
+            acc = (
+                _rotl64(self._acc1, 1)
+                + _rotl64(self._acc2, 7)
+                + _rotl64(self._acc3, 12)
+                + _rotl64(self._acc4, 18)
+            ) & _MASK64
+            acc = _merge_round(acc, self._acc1)
+            acc = _merge_round(acc, self._acc2)
+            acc = _merge_round(acc, self._acc3)
+            acc = _merge_round(acc, self._acc4)
+        else:
+            acc = (self._seed + PRIME64_5) & _MASK64
+
+        acc = (acc + self._total_length) & _MASK64
+        data = bytes(self._buffer)
+        length = len(data)
+        offset = 0
+
+        while offset + 8 <= length:
+            (lane,) = struct.unpack_from("<Q", data, offset)
+            acc ^= _round(0, lane)
+            acc = (_rotl64(acc, 27) * PRIME64_1 + PRIME64_4) & _MASK64
+            offset += 8
+        if offset + 4 <= length:
+            (lane,) = struct.unpack_from("<I", data, offset)
+            acc ^= (lane * PRIME64_1) & _MASK64
+            acc = (_rotl64(acc, 23) * PRIME64_2 + PRIME64_3) & _MASK64
+            offset += 4
+        while offset < length:
+            acc ^= (data[offset] * PRIME64_5) & _MASK64
+            acc = (_rotl64(acc, 11) * PRIME64_1) & _MASK64
+            offset += 1
+
+        return _avalanche(acc)

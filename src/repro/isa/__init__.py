@@ -1,0 +1,45 @@
+"""The repro instruction-set architecture.
+
+A small RISC-like ISA with integer, floating-point and vector register
+files, syscall and nondeterministic-read instructions, an assembler and a
+disassembler.  Programs in this ISA stand in for the unmodified binaries
+Parallaft protects.
+"""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import disassemble_instr, disassemble_program
+from repro.isa.encoding import (
+    decode_instr,
+    decode_program_code,
+    encode_instr,
+    encode_program_code,
+)
+from repro.isa.instructions import Instr, make_brk, make_nop
+from repro.isa.program import (
+    CODE_BASE,
+    DATA_BASE,
+    INSTR_SIZE,
+    STACK_SIZE,
+    STACK_TOP,
+    Program,
+)
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble_instr",
+    "disassemble_program",
+    "encode_instr",
+    "decode_instr",
+    "encode_program_code",
+    "decode_program_code",
+    "Instr",
+    "make_brk",
+    "make_nop",
+    "Program",
+    "CODE_BASE",
+    "DATA_BASE",
+    "INSTR_SIZE",
+    "STACK_TOP",
+    "STACK_SIZE",
+]

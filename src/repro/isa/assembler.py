@@ -1,0 +1,254 @@
+"""Two-pass assembler for the repro ISA.
+
+Source format::
+
+    .data
+    table:  .word 1, 2, 3          # 64-bit little-endian words
+    buf:    .space 128             # zero-filled bytes
+    msg:    .ascii "hi\\n"          # raw bytes
+    .text
+    _start:
+        la   r1, table             # pseudo: li r1, <address of table>
+        ld   r2, r1, 0             # r2 = mem[r1 + 0]
+        addi r2, r2, 1
+        st   r2, r1, 0
+        beq  r2, r3, _start
+        call helper                # pseudo: jal helper
+        halt
+    helper:
+        ret                        # pseudo: jr lr
+
+Comments start with ``#`` or ``;``.  Immediates may be decimal, hex
+(``0x..``), negative, character literals (``'a'``) or label references.
+Floating immediates for ``fli`` use ordinary float syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple, Union
+
+from repro.common.errors import AssemblerError
+from repro.isa import instructions as ins
+from repro.isa.instructions import Instr
+from repro.isa.program import CODE_BASE, DATA_BASE, INSTR_SIZE, Program
+from repro.isa.registers import parse_register
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+
+_PSEUDO = {"ret", "call", "la", "b", "inc", "dec"}
+
+_SHAPE_OPERAND_COUNT = {
+    "r3": 3, "r2imm": 3, "r1imm": 2, "r2": 2, "branch": 3,
+    "imm": 1, "r1": 1, "none": 0,
+}
+
+
+def _split_operands(rest: str) -> List[str]:
+    operands: List[str] = []
+    token = ""
+    in_string = False
+    for char in rest:
+        if char == '"':
+            in_string = not in_string
+            token += char
+        elif char == "," and not in_string:
+            operands.append(token.strip())
+            token = ""
+        else:
+            token += char
+    if token.strip():
+        operands.append(token.strip())
+    return operands
+
+
+class Assembler:
+    """Assemble source text into a :class:`Program`."""
+
+    def __init__(self):
+        self._code_labels: Dict[str, int] = {}
+        self._data_labels: Dict[str, int] = {}
+        self._data = bytearray()
+        self._lines: List[Tuple[int, str, List[str]]] = []  # (lineno, mnemonic, operands)
+
+    def assemble(self, source: str, name: str = "a.out") -> Program:
+        self._first_pass(source)
+        instrs = self._second_pass()
+        labels = {label: CODE_BASE + index * INSTR_SIZE
+                  for label, index in self._code_labels.items()}
+        return Program(instrs, labels=labels, data=bytes(self._data), name=name)
+
+    # -- pass 1: collect labels, expand pseudos, lay out data -------------
+
+    def _first_pass(self, source: str) -> None:
+        section = "text"
+        code_index = 0
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+            if not line:
+                continue
+            while ":" in line and _LABEL_RE.match(line.split(":", 1)[0].strip()):
+                label, line = line.split(":", 1)
+                label = label.strip()
+                line = line.strip()
+                if label in self._code_labels or label in self._data_labels:
+                    raise AssemblerError(f"duplicate label {label!r}", lineno)
+                if section == "text":
+                    self._code_labels[label] = code_index
+                else:
+                    self._data_labels[label] = DATA_BASE + len(self._data)
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            if mnemonic == ".text":
+                section = "text"
+                continue
+            if mnemonic == ".data":
+                section = "data"
+                continue
+            if section == "data":
+                self._data_directive(mnemonic, rest, lineno)
+                continue
+            expanded = self._expand_pseudo(mnemonic, _split_operands(rest), lineno)
+            for real_mnemonic, operands in expanded:
+                self._lines.append((lineno, real_mnemonic, operands))
+                code_index += 1
+
+    def _data_directive(self, mnemonic: str, rest: str, lineno: int) -> None:
+        if mnemonic == ".word":
+            for token in _split_operands(rest):
+                value = self._parse_int(token, lineno)
+                self._data.extend((value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+        elif mnemonic == ".space":
+            count = self._parse_int(rest.strip(), lineno)
+            if count < 0:
+                raise AssemblerError(".space size must be non-negative", lineno)
+            self._data.extend(b"\x00" * count)
+        elif mnemonic == ".ascii":
+            text = rest.strip()
+            if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+                raise AssemblerError(".ascii needs a quoted string", lineno)
+            body = text[1:-1].encode("utf-8").decode("unicode_escape").encode("latin-1")
+            self._data.extend(body)
+        elif mnemonic == ".align":
+            boundary = self._parse_int(rest.strip(), lineno)
+            while len(self._data) % boundary:
+                self._data.append(0)
+        else:
+            raise AssemblerError(f"unknown data directive {mnemonic!r}", lineno)
+
+    def _expand_pseudo(self, mnemonic: str, operands: List[str],
+                       lineno: int) -> List[Tuple[str, List[str]]]:
+        if mnemonic == "ret":
+            return [("jr", ["lr"])]
+        if mnemonic == "call":
+            return [("jal", operands)]
+        if mnemonic == "b":
+            return [("jmp", operands)]
+        if mnemonic == "la":
+            return [("li", operands)]
+        if mnemonic == "inc":
+            return [("addi", [operands[0], operands[0], "1"])]
+        if mnemonic == "dec":
+            return [("addi", [operands[0], operands[0], "-1"])]
+        return [(mnemonic, operands)]
+
+    # -- pass 2: emit instructions ----------------------------------------
+
+    def _second_pass(self) -> List[Instr]:
+        instrs: List[Instr] = []
+        for lineno, mnemonic, operands in self._lines:
+            if mnemonic not in ins.OPCODES_BY_MNEMONIC:
+                raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno)
+            op = ins.OPCODES_BY_MNEMONIC[mnemonic]
+            shape = ins.operand_shape(op)
+            expected = _SHAPE_OPERAND_COUNT[shape]
+            # Memory shapes allow the immediate offset to be omitted.
+            if shape == "r2imm" and len(operands) == 2:
+                operands = operands + ["0"]
+            if len(operands) != expected:
+                raise AssemblerError(
+                    f"{mnemonic} expects {expected} operands, got {len(operands)}",
+                    lineno)
+            instrs.append(self._emit(op, shape, operands, lineno))
+        return instrs
+
+    def _emit(self, op: int, shape: str, operands: List[str], lineno: int) -> Instr:
+        if shape == "r3":
+            return Instr(op, self._reg(operands[0], lineno),
+                         self._reg(operands[1], lineno),
+                         self._reg(operands[2], lineno))
+        if shape == "r2imm":
+            return Instr(op, self._reg(operands[0], lineno),
+                         self._reg(operands[1], lineno),
+                         imm=self._imm(operands[2], lineno))
+        if shape == "r1imm":
+            if op == ins.FLI:
+                return Instr(op, self._reg(operands[0], lineno),
+                             imm=self._parse_float(operands[1], lineno))
+            return Instr(op, self._reg(operands[0], lineno),
+                         imm=self._imm(operands[1], lineno))
+        if shape == "r2":
+            return Instr(op, self._reg(operands[0], lineno),
+                         self._reg(operands[1], lineno))
+        if shape == "branch":
+            return Instr(op, b=self._reg(operands[0], lineno),
+                         c=self._reg(operands[1], lineno),
+                         imm=self._code_target(operands[2], lineno))
+        if shape == "imm":
+            return Instr(op, imm=self._code_target(operands[0], lineno))
+        if shape == "r1":
+            return Instr(op, self._reg(operands[0], lineno)
+                         if op != ins.JR else 0,
+                         b=self._reg(operands[0], lineno))
+        if shape == "none":
+            return Instr(op)
+        raise AssemblerError(f"unhandled shape {shape}", lineno)
+
+    def _reg(self, token: str, lineno: int) -> int:
+        try:
+            _, index = parse_register(token)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), lineno) from None
+        return index
+
+    def _imm(self, token: str, lineno: int) -> int:
+        token = token.strip()
+        if token in self._data_labels:
+            return self._data_labels[token]
+        if token in self._code_labels:
+            return CODE_BASE + self._code_labels[token] * INSTR_SIZE
+        return self._parse_int(token, lineno)
+
+    def _code_target(self, token: str, lineno: int) -> int:
+        token = token.strip()
+        if token in self._code_labels:
+            return CODE_BASE + self._code_labels[token] * INSTR_SIZE
+        try:
+            return self._parse_int(token, lineno)
+        except AssemblerError:
+            raise AssemblerError(f"undefined label {token!r}", lineno) from None
+
+    @staticmethod
+    def _parse_int(token: str, lineno: int) -> int:
+        token = token.strip()
+        try:
+            if len(token) == 3 and token[0] == token[2] == "'":
+                return ord(token[1])
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError(f"bad integer {token!r}", lineno) from None
+
+    @staticmethod
+    def _parse_float(token: str, lineno: int) -> float:
+        try:
+            return float(token)
+        except ValueError:
+            raise AssemblerError(f"bad float {token!r}", lineno) from None
+
+
+def assemble(source: str, name: str = "a.out") -> Program:
+    """Assemble ``source`` into a :class:`Program` (convenience wrapper)."""
+    return Assembler().assemble(source, name=name)

@@ -1,0 +1,82 @@
+"""Disassembler: turn instructions back into assembler-compatible text."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import Instr
+from repro.isa.program import CODE_BASE, INSTR_SIZE, Program
+from repro.isa.registers import gpr_name
+
+
+def _reg_for(op: int, field: str, index: int) -> str:
+    """Render the register operand for a given opcode/field pair."""
+    fp_ops = {ins.FADD, ins.FSUB, ins.FMUL, ins.FDIV, ins.FLD, ins.FST,
+              ins.FLI, ins.FMOV}
+    vec_ops = {ins.VADD, ins.VMUL, ins.VXOR, ins.VLD, ins.VST}
+    if op in fp_ops:
+        # fld/fst address bases are GPRs (field b), data registers FPRs.
+        if op in (ins.FLD, ins.FST) and field == "b":
+            return gpr_name(index)
+        return f"f{index}"
+    if op in vec_ops:
+        if op in (ins.VLD, ins.VST) and field == "b":
+            return gpr_name(index)
+        return f"v{index}"
+    if op == ins.FCVT:
+        return f"f{index}" if field == "a" else gpr_name(index)
+    if op == ins.ICVT:
+        return gpr_name(index) if field == "a" else f"f{index}"
+    if op in (ins.FLT, ins.FLE, ins.FEQ):
+        return gpr_name(index) if field == "a" else f"f{index}"
+    if op == ins.VBCAST:
+        return f"v{index}" if field == "a" else gpr_name(index)
+    if op == ins.VRED:
+        return gpr_name(index) if field == "a" else f"v{index}"
+    return gpr_name(index)
+
+
+def disassemble_instr(instr: Instr,
+                      labels_by_address: Optional[Dict[int, str]] = None) -> str:
+    op = instr.op
+    mnemonic = ins.MNEMONICS[op]
+    shape = ins.operand_shape(op)
+    labels_by_address = labels_by_address or {}
+
+    def target(addr) -> str:
+        return labels_by_address.get(addr, f"{addr:#x}")
+
+    if shape == "r3":
+        return (f"{mnemonic} {_reg_for(op, 'a', instr.a)}, "
+                f"{_reg_for(op, 'b', instr.b)}, {_reg_for(op, 'c', instr.c)}")
+    if shape == "r2imm":
+        return (f"{mnemonic} {_reg_for(op, 'a', instr.a)}, "
+                f"{_reg_for(op, 'b', instr.b)}, {instr.imm}")
+    if shape == "r1imm":
+        return f"{mnemonic} {_reg_for(op, 'a', instr.a)}, {instr.imm}"
+    if shape == "r2":
+        return (f"{mnemonic} {_reg_for(op, 'a', instr.a)}, "
+                f"{_reg_for(op, 'b', instr.b)}")
+    if shape == "branch":
+        return (f"{mnemonic} {gpr_name(instr.b)}, {gpr_name(instr.c)}, "
+                f"{target(instr.imm)}")
+    if shape == "imm":
+        return f"{mnemonic} {target(instr.imm)}"
+    if shape == "r1":
+        if op == ins.JR:
+            return f"{mnemonic} {gpr_name(instr.b)}"
+        return f"{mnemonic} {gpr_name(instr.a)}"
+    return mnemonic
+
+
+def disassemble_program(program: Program) -> str:
+    """Disassemble a whole program, emitting labels at their addresses."""
+    labels_by_address = {addr: name for name, addr in program.labels.items()}
+    lines: List[str] = []
+    for index, instr in enumerate(program.instrs):
+        address = CODE_BASE + index * INSTR_SIZE
+        if address in labels_by_address:
+            lines.append(f"{labels_by_address[address]}:")
+        lines.append(f"    {disassemble_instr(instr, labels_by_address)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,64 @@
+"""Binary encoding for repro ISA instructions.
+
+Fixed 16-byte records: opcode byte, three register-operand bytes, a flag
+byte marking float immediates, three pad bytes, then the 64-bit immediate
+(two's-complement for ints, IEEE-754 for floats).  The interpreter never
+touches this encoding (it runs pre-decoded :class:`~repro.isa.instructions.Instr`
+objects); it exists so programs can be serialized, diffed, and round-tripped
+through the disassembler.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.isa.instructions import Instr, NUM_OPCODES
+
+RECORD_SIZE = 16
+
+_FLAG_FLOAT_IMM = 1
+
+MAGIC = b"RPRO"
+
+
+def encode_instr(instr: Instr) -> bytes:
+    if isinstance(instr.imm, float):
+        flags = _FLAG_FLOAT_IMM
+        imm_bytes = struct.pack("<d", instr.imm)
+    else:
+        flags = 0
+        imm_bytes = struct.pack("<q", instr.imm)
+    return struct.pack("<BBBBBxxx", instr.op, instr.a, instr.b, instr.c,
+                       flags) + imm_bytes
+
+
+def decode_instr(blob: bytes) -> Instr:
+    if len(blob) != RECORD_SIZE:
+        raise ValueError(f"instruction record must be {RECORD_SIZE} bytes")
+    op, a, b, c, flags = struct.unpack_from("<BBBBB", blob)
+    if op >= NUM_OPCODES:
+        raise ValueError(f"bad opcode {op}")
+    if flags & _FLAG_FLOAT_IMM:
+        (imm,) = struct.unpack_from("<d", blob, 8)
+    else:
+        (imm,) = struct.unpack_from("<q", blob, 8)
+    return Instr(op, a, b, c, imm)
+
+
+def encode_program_code(instrs: List[Instr]) -> bytes:
+    """Serialize a code segment: magic, count, then fixed-size records."""
+    header = MAGIC + struct.pack("<I", len(instrs))
+    return header + b"".join(encode_instr(instr) for instr in instrs)
+
+
+def decode_program_code(blob: bytes) -> List[Instr]:
+    if blob[:4] != MAGIC:
+        raise ValueError("bad magic")
+    (count,) = struct.unpack_from("<I", blob, 4)
+    instrs = []
+    offset = 8
+    for _ in range(count):
+        instrs.append(decode_instr(blob[offset:offset + RECORD_SIZE]))
+        offset += RECORD_SIZE
+    return instrs

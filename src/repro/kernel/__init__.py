@@ -1,0 +1,24 @@
+"""Kernel model: processes, COW fork, syscalls, signals, ptrace tracing."""
+
+from repro.kernel.costs import KernelCostModel
+from repro.kernel.kernel import CounterModel, Kernel
+from repro.kernel.process import Process, ProcessState, SIGRETURN_ADDR
+from repro.kernel.ptrace import SyscallAction, Tracer
+from repro.kernel.vfs import Console, DevUrandom, DevZero, MemFile, NullSink, Vfs
+
+__all__ = [
+    "Kernel",
+    "KernelCostModel",
+    "CounterModel",
+    "Process",
+    "ProcessState",
+    "SIGRETURN_ADDR",
+    "SyscallAction",
+    "Tracer",
+    "Console",
+    "DevZero",
+    "DevUrandom",
+    "MemFile",
+    "NullSink",
+    "Vfs",
+]

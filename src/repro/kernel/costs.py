@@ -1,0 +1,74 @@
+"""Kernel cost model: hardware-cycle prices of kernel operations.
+
+All values are *hardware* cycles; the executor divides by the executing
+core's frequency to get virtual seconds.  The tracing costs are what make a
+syscall-dense program slow under Parallaft/RAFT (paper §5.7: getpid loop
+124.5x, dominated by ptrace; 1 MB reads 18.5x, dominated by recording the
+data read; empty-handler SIGUSR1 39.8x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class KernelCostModel:
+    #: How many *real* pages one simulated page stands for.  Workload
+    #: footprints are compressed ~3 orders of magnitude relative to SPEC
+    #: ref runs (as run durations are, via cycle_scale); page-granular
+    #: kernel work (fork PTE copies, COW faults, dirty-bit passes, dirty-
+    #: page hashing) must be scaled back up or it would vanish from the
+    #: overhead.  See DESIGN.md, "Substitutions".
+    page_population_scale: float = 780.0
+    #: Kernel entry/exit + dispatch for any syscall.
+    syscall_base_cycles: float = 1_200.0
+    #: Per byte moved by read/write/getrandom.
+    syscall_per_byte_cycles: float = 0.06
+    #: One ptrace stop: two context switches plus tracer wakeup.
+    trace_stop_cycles: float = 74_000.0
+    #: Per byte the tracer records from syscall buffers (R/R log append).
+    record_per_byte_cycles: float = 0.95
+    #: fork(2): base plus per-PTE copy.
+    fork_base_cycles: float = 40_000.0
+    fork_per_page_cycles: float = 450.0
+    #: Resolving one copy-on-write fault (trap + page copy), per page byte.
+    cow_fault_base_cycles: float = 2_500.0
+    cow_per_byte_cycles: float = 0.18
+    #: Kernel-side signal delivery (context push).
+    signal_delivery_cycles: float = 3_600.0
+    #: Clearing soft-dirty bits / PAGEMAP_SCAN, per mapped page.
+    dirty_clear_per_page_cycles: float = 14.0
+    #: Reading dirty-page list, per mapped page.
+    dirty_scan_per_page_cycles: float = 10.0
+    #: Injected-hasher hashing, per byte of dirty page compared.
+    hash_per_byte_cycles: float = 0.22
+    #: Perf-counter (re)programming via perf_event.
+    perf_setup_cycles: float = 9_000.0
+    #: Setting or clearing a hardware breakpoint.
+    breakpoint_setup_cycles: float = 4_000.0
+
+    def syscall_cycles(self, bytes_moved: int = 0) -> float:
+        return self.syscall_base_cycles + bytes_moved * self.syscall_per_byte_cycles
+
+    def fork_cycles(self, mapped_pages: int) -> float:
+        return (self.fork_base_cycles
+                + mapped_pages * self.page_population_scale
+                * self.fork_per_page_cycles)
+
+    def cow_cycles(self, page_size: int, faults: int = 1) -> float:
+        per_fault = (self.cow_fault_base_cycles
+                     + page_size * self.cow_per_byte_cycles)
+        return faults * self.page_population_scale * per_fault
+
+    def dirty_clear_cycles(self, mapped_pages: int) -> float:
+        return (mapped_pages * self.page_population_scale
+                * self.dirty_clear_per_page_cycles)
+
+    def dirty_scan_cycles(self, mapped_pages: int) -> float:
+        return (mapped_pages * self.page_population_scale
+                * self.dirty_scan_per_page_cycles)
+
+    def hash_cycles(self, bytes_hashed: int) -> float:
+        return (bytes_hashed * self.page_population_scale
+                * self.hash_per_byte_cycles)

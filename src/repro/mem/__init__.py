@@ -1,0 +1,36 @@
+"""Virtual memory substrate: refcounted frames, COW address spaces, paging."""
+
+from repro.mem.address_space import (
+    MAP_ANONYMOUS,
+    MAP_FIXED,
+    MAP_PRIVATE,
+    MAP_SHARED,
+    MMAP_BASE,
+    PROT_EXEC,
+    PROT_NONE,
+    PROT_READ,
+    PROT_WRITE,
+    AddressSpace,
+    PageFault,
+    Pte,
+    Vma,
+)
+from repro.mem.frames import Frame, FramePool
+
+__all__ = [
+    "AddressSpace",
+    "PageFault",
+    "Pte",
+    "Vma",
+    "Frame",
+    "FramePool",
+    "PROT_NONE",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PROT_EXEC",
+    "MAP_PRIVATE",
+    "MAP_SHARED",
+    "MAP_ANONYMOUS",
+    "MAP_FIXED",
+    "MMAP_BASE",
+]

@@ -1,0 +1,12 @@
+"""Mini-C: the small C-like language the workload programs are written in.
+
+Pipeline: :func:`~repro.minic.lexer.tokenize` ->
+:func:`~repro.minic.parser.parse` -> :func:`~repro.minic.codegen.generate`
+(assembly text) -> :func:`repro.isa.assemble`.
+"""
+
+from repro.minic.compiler import compile_source, compile_to_asm
+from repro.minic.lexer import Token, tokenize
+from repro.minic.parser import parse
+
+__all__ = ["compile_source", "compile_to_asm", "tokenize", "Token", "parse"]

@@ -1,0 +1,162 @@
+"""AST node definitions for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLit:
+    value: float
+    line: int = 0
+
+
+@dataclass
+class StrLit:
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Var:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    """Array element access: ``name[index]``."""
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str            # '-', '!', '~'
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str            # arithmetic / comparison / logical
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call:
+    name: str
+    args: List["Expr"] = field(default_factory=list)
+    line: int = 0
+
+
+Expr = Union[IntLit, FloatLit, StrLit, Var, Index, Unary, Binary, Call]
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl:
+    name: str
+    is_float: bool = False
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Union[Var, Index]
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: List["Stmt"]
+    else_body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Union[VarDecl, Assign, If, While, For, Return, Break, Continue, ExprStmt]
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    is_float: bool = False
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[Param]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    is_float: bool = False
+    array_size: Optional[int] = None   # None for scalars
+    init: Optional[List[Union[int, float]]] = None
+    line: int = 0
+
+
+@dataclass
+class Module:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

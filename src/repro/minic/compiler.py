@@ -1,0 +1,50 @@
+"""Compiler driver: mini-C source -> assembly -> Program."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import CompileError
+from repro.isa import Program, assemble
+from repro.minic import ast_nodes as ast
+from repro.minic.codegen import generate
+from repro.minic.parser import parse
+from repro.minic.runtime import PRELUDE, PRELUDE_FUNCTIONS, PRELUDE_GLOBALS
+
+_prelude_cache: Optional[ast.Module] = None
+
+
+def _prelude_module() -> ast.Module:
+    global _prelude_cache
+    if _prelude_cache is None:
+        _prelude_cache = parse(PRELUDE)
+    return _prelude_cache
+
+
+def compile_to_asm(source: str, with_prelude: bool = True) -> str:
+    """Compile mini-C source to assembly text."""
+    module = parse(source)
+    if with_prelude:
+        user_functions = {fn.name for fn in module.functions}
+        user_globals = {g.name for g in module.globals}
+        for name in PRELUDE_FUNCTIONS:
+            if name in user_functions:
+                raise CompileError(
+                    f"function {name!r} collides with the runtime prelude")
+        for name in PRELUDE_GLOBALS:
+            if name in user_globals:
+                raise CompileError(
+                    f"global {name!r} collides with the runtime prelude")
+        prelude = _prelude_module()
+        module = ast.Module(
+            globals=module.globals + prelude.globals,
+            functions=module.functions + prelude.functions,
+        )
+    return generate(module)
+
+
+def compile_source(source: str, name: str = "a.out",
+                   with_prelude: bool = True) -> Program:
+    """Compile mini-C source into an executable :class:`Program`."""
+    asm = compile_to_asm(source, with_prelude=with_prelude)
+    return assemble(asm, name=name)

@@ -1,0 +1,130 @@
+"""Lexer for mini-C, the workload language.
+
+Mini-C is the small C-like language the SPEC-like benchmark programs are
+written in; it compiles to repro ISA assembly (see
+:mod:`repro.minic.codegen`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.common.errors import CompileError
+
+KEYWORDS = frozenset({
+    "func", "var", "float", "global", "if", "else", "while", "for",
+    "return", "break", "continue",
+})
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class Token(NamedTuple):
+    kind: str          # 'int', 'float', 'ident', 'keyword', 'op', 'string', 'eof'
+    value: object
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    length = len(source)
+    while i < length:
+        char = source[i]
+        if char == "\n":
+            line += 1
+            i += 1
+            continue
+        if char in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if char == '"':
+            end = i + 1
+            chunks = []
+            while end < length and source[end] != '"':
+                if source[end] == "\\" and end + 1 < length:
+                    escape = source[end + 1]
+                    chunks.append({"n": "\n", "t": "\t", "0": "\0",
+                                   "\\": "\\", '"': '"'}.get(escape, escape))
+                    end += 2
+                else:
+                    chunks.append(source[end])
+                    end += 1
+            if end >= length:
+                raise CompileError("unterminated string literal", line)
+            tokens.append(Token("string", "".join(chunks), line))
+            i = end + 1
+            continue
+        if char == "'":
+            if i + 2 < length and source[i + 2] == "'":
+                tokens.append(Token("int", ord(source[i + 1]), line))
+                i += 3
+                continue
+            raise CompileError("bad character literal", line)
+        if char.isdigit() or (char == "." and i + 1 < length
+                              and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < length and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                tokens.append(Token("int", int(source[i:j], 16), line))
+                i = j
+                continue
+            while j < length and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    is_float = True
+                j += 1
+            if j < length and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < length and source[j] in "+-":
+                    j += 1
+                while j < length and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", float(text), line))
+            else:
+                tokens.append(Token("int", int(text), line))
+            i = j
+            continue
+        if char.isalpha() or char == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, i):
+                tokens.append(Token("op", operator, line))
+                i += len(operator)
+                break
+        else:
+            raise CompileError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens

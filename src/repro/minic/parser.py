@@ -1,0 +1,321 @@
+"""Recursive-descent parser for mini-C.
+
+Grammar (informal)::
+
+    module     := (global | func)*
+    global     := "global" ["float"] IDENT ["[" INT "]"] ["=" init] ";"
+    init       := const | "{" const ("," const)* "}"
+    func       := "func" IDENT "(" params? ")" block
+    params     := param ("," param)*
+    param      := ["float"] IDENT
+    block      := "{" stmt* "}"
+    stmt       := ("var"|"float") IDENT ["=" expr] ";"
+                | lvalue "=" expr ";"
+                | "if" "(" expr ")" block ["else" (block | if-stmt)]
+                | "while" "(" expr ")" block
+                | "for" "(" simple? ";" expr? ";" simple? ")" block
+                | "return" [expr] ";"
+                | "break" ";" | "continue" ";"
+                | expr ";"
+    expr       := precedence-climbing over || && | ^ & == != < <= > >=
+                  << >> + - * / % with unary - ! ~
+
+Distinguishing ``lvalue = expr`` from an expression statement is done by
+lookahead (identifier followed by ``=`` or ``[...] =``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.common.errors import CompileError
+from repro.minic import ast_nodes as ast
+from repro.minic.lexer import Token, tokenize
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value=None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            want = f"{kind} {value!r}" if value is not None else kind
+            raise CompileError(
+                f"expected {want}, got {token.kind} {token.value!r}",
+                token.line)
+        return self._advance()
+
+    def _match(self, kind: str, value=None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "keyword" and token.value == "global":
+                module.globals.append(self._parse_global())
+            elif token.kind == "keyword" and token.value == "func":
+                module.functions.append(self._parse_func())
+            else:
+                raise CompileError(
+                    f"expected 'global' or 'func', got {token.value!r}",
+                    token.line)
+        return module
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        line = self._expect("keyword", "global").line
+        is_float = bool(self._match("keyword", "float"))
+        name = self._expect("ident").value
+        array_size = None
+        if self._match("op", "["):
+            array_size = self._expect("int").value
+            self._expect("op", "]")
+        init = None
+        if self._match("op", "="):
+            init = self._parse_const_init(is_float)
+        self._expect("op", ";")
+        return ast.GlobalDecl(name, is_float, array_size, init, line)
+
+    def _parse_const_init(self, is_float: bool) -> List[Union[int, float]]:
+        if self._match("op", "{"):
+            values = [self._parse_const(is_float)]
+            while self._match("op", ","):
+                values.append(self._parse_const(is_float))
+            self._expect("op", "}")
+            return values
+        return [self._parse_const(is_float)]
+
+    def _parse_const(self, is_float: bool) -> Union[int, float]:
+        negate = bool(self._match("op", "-"))
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            value = token.value
+        elif token.kind == "float":
+            self._advance()
+            value = token.value
+        else:
+            raise CompileError("expected numeric constant", token.line)
+        if negate:
+            value = -value
+        return float(value) if is_float else value
+
+    def _parse_func(self) -> ast.FuncDecl:
+        line = self._expect("keyword", "func").line
+        name = self._expect("ident").value
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._match("op", ")"):
+            while True:
+                is_float = bool(self._match("keyword", "float"))
+                params.append(ast.Param(self._expect("ident").value, is_float))
+                if not self._match("op", ","):
+                    break
+            self._expect("op", ")")
+        body = self._parse_block()
+        return ast.FuncDecl(name, params, body, line)
+
+    # -- statements --------------------------------------------------------------
+
+    def _parse_block(self) -> List[ast.Stmt]:
+        self._expect("op", "{")
+        stmts: List[ast.Stmt] = []
+        while not self._match("op", "}"):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.value in ("var", "float"):
+                return self._parse_var_decl()
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "return":
+                self._advance()
+                value = None
+                if not (self._peek().kind == "op" and self._peek().value == ";"):
+                    value = self._parse_expr()
+                self._expect("op", ";")
+                return ast.Return(value, token.line)
+            if token.value == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(token.line)
+            if token.value == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(token.line)
+            raise CompileError(f"unexpected keyword {token.value!r}", token.line)
+        stmt = self._parse_simple_stmt()
+        self._expect("op", ";")
+        return stmt
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        token = self._advance()
+        is_float = token.value == "float"
+        name = self._expect("ident").value
+        init = None
+        if self._match("op", "="):
+            init = self._parse_expr()
+        self._expect("op", ";")
+        return ast.VarDecl(name, is_float, init, token.line)
+
+    def _parse_if(self) -> ast.If:
+        line = self._expect("keyword", "if").line
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        then_body = self._parse_block()
+        else_body: List[ast.Stmt] = []
+        if self._match("keyword", "else"):
+            if self._peek().kind == "keyword" and self._peek().value == "if":
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond, then_body, else_body, line)
+
+    def _parse_while(self) -> ast.While:
+        line = self._expect("keyword", "while").line
+        self._expect("op", "(")
+        cond = self._parse_expr()
+        self._expect("op", ")")
+        return ast.While(cond, self._parse_block(), line)
+
+    def _parse_for(self) -> ast.For:
+        line = self._expect("keyword", "for").line
+        self._expect("op", "(")
+        init = None
+        if not (self._peek().kind == "op" and self._peek().value == ";"):
+            init = self._parse_simple_stmt()
+        self._expect("op", ";")
+        cond = None
+        if not (self._peek().kind == "op" and self._peek().value == ";"):
+            cond = self._parse_expr()
+        self._expect("op", ";")
+        step = None
+        if not (self._peek().kind == "op" and self._peek().value == ")"):
+            step = self._parse_simple_stmt()
+        self._expect("op", ")")
+        return ast.For(init, cond, step, self._parse_block(), line)
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """An assignment or expression statement (no trailing ';')."""
+        token = self._peek()
+        if token.kind == "ident":
+            # Lookahead for 'ident =' or 'ident [...] ='.
+            if self._peek(1).kind == "op" and self._peek(1).value == "=":
+                name = self._advance().value
+                self._advance()  # '='
+                value = self._parse_expr()
+                return ast.Assign(ast.Var(name, token.line), value, token.line)
+            if self._peek(1).kind == "op" and self._peek(1).value == "[":
+                saved = self._pos
+                name = self._advance().value
+                self._advance()  # '['
+                index = self._parse_expr()
+                self._expect("op", "]")
+                if self._match("op", "="):
+                    value = self._parse_expr()
+                    return ast.Assign(ast.Index(name, index, token.line),
+                                      value, token.line)
+                self._pos = saved  # it was an expression after all
+        return ast.ExprStmt(self._parse_expr(), token.line)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(1)
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind != "op" or token.value not in _PRECEDENCE:
+                return left
+            precedence = _PRECEDENCE[token.value]
+            if precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(token.value, left, right, token.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "op" and token.value in ("-", "!", "~"):
+            self._advance()
+            return ast.Unary(token.value, self._parse_unary(), token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self._advance()
+        if token.kind == "int":
+            return ast.IntLit(token.value, token.line)
+        if token.kind == "float":
+            return ast.FloatLit(token.value, token.line)
+        if token.kind == "string":
+            return ast.StrLit(token.value, token.line)
+        if token.kind == "op" and token.value == "(":
+            expr = self._parse_expr()
+            self._expect("op", ")")
+            return expr
+        if token.kind == "keyword" and token.value == "float":
+            # `float(expr)` conversion uses the keyword as a call.
+            self._expect("op", "(")
+            arg = self._parse_expr()
+            self._expect("op", ")")
+            return ast.Call("float", [arg], token.line)
+        if token.kind == "ident":
+            if self._peek().kind == "op" and self._peek().value == "(":
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._match("op", ")"):
+                    args.append(self._parse_expr())
+                    while self._match("op", ","):
+                        args.append(self._parse_expr())
+                    self._expect("op", ")")
+                return ast.Call(token.value, args, token.line)
+            if self._peek().kind == "op" and self._peek().value == "[":
+                self._advance()
+                index = self._parse_expr()
+                self._expect("op", "]")
+                return ast.Index(token.value, index, token.line)
+            return ast.Var(token.value, token.line)
+        raise CompileError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse(source: str) -> ast.Module:
+    return Parser(tokenize(source)).parse_module()

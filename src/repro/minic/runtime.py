@@ -1,0 +1,133 @@
+"""Mini-C runtime prelude.
+
+A small library compiled into every program: decimal output (an explicit
+itoa loop, so printing costs realistic compute and a single ``write``
+syscall), float printing with fixed precision, a Newton-iteration square
+root, and a deterministic PRNG.  All of it is plain mini-C, so the prelude
+also serves as a continuous integration test of the compiler itself.
+"""
+
+PRELUDE = """
+global __itoa_buf[8];
+
+func print_int(n) {
+    var buf; var i; var neg; var digit;
+    buf = addr(__itoa_buf);
+    i = 63;
+    poke8(buf + i, 10);
+    neg = 0;
+    if (n < 0) {
+        neg = 1;
+        n = 0 - n;
+        if (n < 0) {
+            // INT_MIN negates to itself: peel the last digit first, then
+            // the negated quotient is representable.
+            i = i - 1;
+            digit = 0 - (n % 10);
+            poke8(buf + i, 48 + digit);
+            n = 0 - (n / 10);
+        }
+    }
+    if (n == 0 && i == 63) {
+        i = i - 1;
+        poke8(buf + i, 48);
+    }
+    while (n > 0) {
+        i = i - 1;
+        digit = n % 10;
+        poke8(buf + i, 48 + digit);
+        n = n / 10;
+    }
+    if (neg) {
+        i = i - 1;
+        poke8(buf + i, 45);
+    }
+    write(1, buf + i, 64 - i);
+    return 0;
+}
+
+// Print a float as <int part>.<6 digits>; good enough for checksums.
+func print_float(float x) {
+    var whole; var frac; var buf; var i; var digit; var neg;
+    neg = 0;
+    if (x < 0.0) { neg = 1; x = 0.0 - x; }
+    whole = int(x);
+    frac = int((x - float(whole)) * 1000000.0);
+    buf = addr(__itoa_buf);
+    i = 63;
+    poke8(buf + i, 10);
+    digit = 0;
+    while (digit < 6) {
+        i = i - 1;
+        poke8(buf + i, 48 + frac % 10);
+        frac = frac / 10;
+        digit = digit + 1;
+    }
+    i = i - 1;
+    poke8(buf + i, 46);
+    if (whole == 0) {
+        i = i - 1;
+        poke8(buf + i, 48);
+    }
+    while (whole > 0) {
+        i = i - 1;
+        poke8(buf + i, 48 + whole % 10);
+        whole = whole / 10;
+    }
+    if (neg) {
+        i = i - 1;
+        poke8(buf + i, 45);
+    }
+    write(1, buf + i, 64 - i);
+    return 0;
+}
+
+// Newton-Raphson square root; returns its result in f0.
+func fsqrt(float x) {
+    float y; var iter;
+    if (x <= 0.0) {
+        return 0.0;
+    }
+    y = x;
+    if (y < 1.0) { y = 1.0; }
+    iter = 0;
+    while (iter < 24) {
+        y = 0.5 * (y + x / y);
+        iter = iter + 1;
+    }
+    return y;
+}
+
+global __rng_state = 88172645463325252;
+
+// xorshift64: deterministic pseudo-random stream for workloads.
+func rand64() {
+    var x;
+    x = peek64(addr(__rng_state));
+    x = x ^ (x << 13);
+    x = x ^ ((x >> 7) & 144115188075855871);
+    x = x ^ (x << 17);
+    poke64(addr(__rng_state), x);
+    return x;
+}
+
+func srand64(seed) {
+    if (seed == 0) { seed = 1; }
+    poke64(addr(__rng_state), seed);
+    return 0;
+}
+
+// Positive pseudo-random value below bound.
+func rand_below(bound) {
+    var x;
+    x = rand64();
+    if (x < 0) { x = 0 - x; }
+    if (x < 0) { x = 0; }
+    return x % bound;
+}
+"""
+
+#: Names defined by the prelude (for collision checks in the compiler).
+PRELUDE_FUNCTIONS = ("print_int", "print_float", "fsqrt", "rand64",
+                     "srand64", "rand_below")
+PRELUDE_GLOBALS = ("__itoa_buf", "__rng_state")

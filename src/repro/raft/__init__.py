@@ -1,0 +1,16 @@
+"""The RAFT baseline (Zhang et al., CGO 2012), as the paper models it.
+
+RAFT has no public release, so the paper models it by reconfiguring
+Parallaft (§5.1): (1) no periodic checkpoints - a single segment spanning
+the program; (2) homogeneous execution - the checker runs on a big core;
+(3) no end-of-segment state comparison or dirty-page tracking.  Syscall
+interception, comparison and record/replay are shared with Parallaft
+("RAFT incurs almost identical slowdown because of shared syscall-handling
+logic", §5.7); the RAFT checker runs *concurrently* with the main from
+program start, stalling when it catches up with the record log - the
+asynchronous-duplication behaviour of the original system.
+"""
+
+from repro.raft.runtime import Raft, raft_config
+
+__all__ = ["Raft", "raft_config"]

@@ -1,0 +1,24 @@
+"""RAFT runtime: a thin, documented veneer over the Parallaft coordinator."""
+
+from __future__ import annotations
+
+from repro.core.config import ParallaftConfig
+from repro.core.runtime import Parallaft
+
+
+def raft_config() -> ParallaftConfig:
+    """The paper's RAFT model (§5.1)."""
+    return ParallaftConfig.raft()
+
+
+class Raft(Parallaft):
+    """Run a program under the RAFT model.
+
+    Identical interface to :class:`~repro.core.runtime.Parallaft`; the
+    configuration is pinned to the RAFT mode.
+    """
+
+    def __init__(self, program, platform=None, **kwargs):
+        kwargs.pop("config", None)
+        super().__init__(program, config=raft_config(), platform=platform,
+                         **kwargs)

@@ -1,0 +1,21 @@
+"""Heterogeneous-platform simulation: cores, DVFS, timing, energy, executor."""
+
+from repro.sim.cores import Core, make_cores
+from repro.sim.executor import Executor, Sampler
+from repro.sim.platform import (
+    PlatformConfig,
+    apple_m2,
+    intel_14700,
+    platform_by_name,
+)
+
+__all__ = [
+    "Core",
+    "make_cores",
+    "Executor",
+    "Sampler",
+    "PlatformConfig",
+    "apple_m2",
+    "intel_14700",
+    "platform_by_name",
+]

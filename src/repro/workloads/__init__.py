@@ -1,0 +1,22 @@
+"""SPEC CPU2006-like workload suite and synthetic workload generator."""
+
+from repro.workloads.generator import synthetic_program, synthetic_source
+from repro.workloads.registry import (
+    SENSITIVITY_TRIO,
+    Benchmark,
+    all_benchmarks,
+    benchmark,
+    fp_benchmarks,
+    int_benchmarks,
+)
+
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "benchmark",
+    "int_benchmarks",
+    "fp_benchmarks",
+    "SENSITIVITY_TRIO",
+    "synthetic_program",
+    "synthetic_source",
+]

@@ -1,0 +1,99 @@
+"""473.astar-like workload: grid pathfinding.
+
+Repeated Dijkstra-style flood relaxations over a 2D cost grid with an
+explicit frontier queue — mixed regular/irregular access over a
+medium-sized map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    side = 48
+    n_queries = 1 * scale
+    source = f"""
+global cost[2304];
+global dist[2304];
+global queue[8192];
+
+func main() {{
+    var q; var i; var head; var tail; var pos; var d; var next;
+    var checksum; var row; var col; var nd;
+    srand64({seed * 67 + 21});
+    for (i = 0; i < {side * side}; i = i + 1) {{
+        cost[i] = 1 + rand_below(9);
+    }}
+    checksum = 0;
+    for (q = 0; q < {n_queries}; q = q + 1) {{
+        for (i = 0; i < {side * side}; i = i + 1) {{ dist[i] = 1000000; }}
+        pos = rand_below({side * side});
+        dist[pos] = 0;
+        queue[0] = pos;
+        head = 0;
+        tail = 1;
+        while (head < tail && head < 800) {{
+            pos = queue[head % 4096];
+            head = head + 1;
+            d = dist[pos];
+            row = pos / {side};
+            col = pos % {side};
+            // relax the four neighbours
+            if (row > 0) {{
+                next = pos - {side};
+                nd = d + cost[next];
+                if (nd < dist[next]) {{
+                    dist[next] = nd;
+                    queue[tail % 4096] = next;
+                    tail = tail + 1;
+                }}
+            }}
+            if (row < {side - 1}) {{
+                next = pos + {side};
+                nd = d + cost[next];
+                if (nd < dist[next]) {{
+                    dist[next] = nd;
+                    queue[tail % 4096] = next;
+                    tail = tail + 1;
+                }}
+            }}
+            if (col > 0) {{
+                next = pos - 1;
+                nd = d + cost[next];
+                if (nd < dist[next]) {{
+                    dist[next] = nd;
+                    queue[tail % 4096] = next;
+                    tail = tail + 1;
+                }}
+            }}
+            if (col < {side - 1}) {{
+                next = pos + 1;
+                nd = d + cost[next];
+                if (nd < dist[next]) {{
+                    dist[next] = nd;
+                    queue[tail % 4096] = next;
+                    tail = tail + 1;
+                }}
+            }}
+        }}
+        for (i = 0; i < {side * side}; i = i + {side}) {{
+            checksum = (checksum + dist[i]) % 1000000007;
+        }}
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="astar",
+    suite="int",
+    description="Dijkstra-style flood relaxation over a cost grid",
+    build=build,
+    n_inputs=1,
+    mem_profile="medium",
+)

@@ -1,0 +1,118 @@
+"""403.gcc-like workload: compiler data structures.
+
+Symbol-table hashing plus expression-tree construction/folding — the
+pointer-and-hash-heavy behaviour of a compiler front end.  SPEC runs gcc on
+nine inputs, each short: last-checker-sync overhead dominates at long
+slicing periods, giving gcc its 2-billion-cycle sweet spot in the paper's
+figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_symbols = 60 * scale
+    n_folds = 40 * scale
+    source = f"""
+global hash_keys[2048];
+global hash_vals[2048];
+// Expression tree nodes: op, left, right, value (struct-of-arrays).
+global node_op[2048];
+global node_left[2048];
+global node_right[2048];
+global node_val[2048];
+global node_count;
+
+func hash_insert(key, value) {{
+    var slot; var probes;
+    slot = (key * 2654435761) % 2048;
+    if (slot < 0) {{ slot = slot + 2048; }}
+    probes = 0;
+    while (hash_keys[slot] != 0 && hash_keys[slot] != key) {{
+        slot = (slot + 1) % 2048;
+        probes = probes + 1;
+        if (probes > 2048) {{ return -1; }}
+    }}
+    hash_keys[slot] = key;
+    hash_vals[slot] = value;
+    return slot;
+}}
+
+func hash_lookup(key) {{
+    var slot; var probes;
+    slot = (key * 2654435761) % 2048;
+    if (slot < 0) {{ slot = slot + 2048; }}
+    probes = 0;
+    while (hash_keys[slot] != key) {{
+        if (hash_keys[slot] == 0) {{ return -1; }}
+        slot = (slot + 1) % 2048;
+        probes = probes + 1;
+        if (probes > 2048) {{ return -1; }}
+    }}
+    return hash_vals[slot];
+}}
+
+func new_node(op, left, right, value) {{
+    var id;
+    id = node_count % 2048;
+    node_count = node_count + 1;
+    node_op[id] = op;
+    node_left[id] = left;
+    node_right[id] = right;
+    node_val[id] = value;
+    return id;
+}}
+
+// Constant-fold a tree bottom-up (recursive walk, like fold_const).
+func fold(id) {{
+    var op; var lhs; var rhs;
+    op = node_op[id];
+    if (op == 0) {{ return node_val[id]; }}
+    lhs = fold(node_left[id]);
+    rhs = fold(node_right[id]);
+    if (op == 1) {{ return lhs + rhs; }}
+    if (op == 2) {{ return lhs - rhs; }}
+    if (op == 3) {{ return lhs * rhs % 65521; }}
+    if (rhs == 0) {{ return lhs; }}
+    return lhs % rhs;
+}}
+
+func main() {{
+    var i; var key; var checksum; var leaf_a; var leaf_b; var tree; var k;
+    srand64({seed * 77 + 5});
+    checksum = 0;
+    for (i = 0; i < {n_symbols}; i = i + 1) {{
+        key = rand_below(100000) + 1;
+        hash_insert(key, i);
+        checksum = (checksum + hash_lookup(key)) % 1000000007;
+    }}
+    for (i = 0; i < {n_folds}; i = i + 1) {{
+        leaf_a = new_node(0, 0, 0, rand_below(1000));
+        leaf_b = new_node(0, 0, 0, rand_below(1000) + 1);
+        tree = new_node(1 + rand_below(4), leaf_a, leaf_b, 0);
+        k = 0;
+        while (k < 3) {{
+            leaf_a = new_node(0, 0, 0, rand_below(500));
+            tree = new_node(1 + rand_below(3), tree, leaf_a, 0);
+            k = k + 1;
+        }}
+        checksum = (checksum * 37 + fold(tree)) % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="gcc",
+    suite="int",
+    description="symbol-table hashing and expression-tree constant folding",
+    build=build,
+    n_inputs=9,
+    mem_profile="medium",
+)

@@ -1,0 +1,86 @@
+"""445.gobmk-like workload: Go board analysis.
+
+Influence propagation and liberty counting on a 19x19 board — small working
+set, extremely branchy control flow, table lookups.  Low memory intensity:
+checkers keep up comfortably on little cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_moves = 10 * scale
+    source = f"""
+global board[361];
+global influence[361];
+
+// Count liberties (empty orthogonal neighbours) of a point.
+func liberties(pos) {{
+    var row; var col; var count;
+    row = pos / 19;
+    col = pos % 19;
+    count = 0;
+    if (row > 0 && board[pos - 19] == 0) {{ count = count + 1; }}
+    if (row < 18 && board[pos + 19] == 0) {{ count = count + 1; }}
+    if (col > 0 && board[pos - 1] == 0) {{ count = count + 1; }}
+    if (col < 18 && board[pos + 1] == 0) {{ count = count + 1; }}
+    return count;
+}}
+
+// One influence-propagation relaxation pass; returns the board "tension".
+func propagate() {{
+    var pos; var total; var inf;
+    total = 0;
+    for (pos = 19; pos < 342; pos = pos + 1) {{
+        inf = influence[pos] * 2 + influence[pos - 19] + influence[pos + 19];
+        if (pos % 19 != 0) {{ inf = inf + influence[pos - 1]; }}
+        if (pos % 19 != 18) {{ inf = inf + influence[pos + 1]; }}
+        inf = inf / 6;
+        if (board[pos] == 1) {{ inf = inf + 64; }}
+        if (board[pos] == 2) {{ inf = inf - 64; }}
+        influence[pos] = inf;
+        if (inf > 0) {{ total = total + 1; }}
+        if (inf < 0) {{ total = total - 1; }}
+    }}
+    return total;
+}}
+
+func main() {{
+    var move; var pos; var color; var checksum; var libs; var pass;
+    srand64({seed * 23 + 1});
+    checksum = 0;
+    color = 1;
+    for (move = 0; move < {n_moves}; move = move + 1) {{
+        pos = rand_below(361);
+        if (board[pos] == 0) {{
+            libs = liberties(pos);
+            if (libs > 0) {{
+                board[pos] = color;
+                color = 3 - color;
+            }}
+        }}
+        for (pass = 0; pass < 1; pass = pass + 1) {{
+            checksum = (checksum * 13 + propagate()) % 1000000007;
+        }}
+    }}
+    for (pos = 0; pos < 361; pos = pos + 1) {{
+        checksum = (checksum + board[pos] * pos) % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="gobmk",
+    suite="int",
+    description="Go board influence propagation and liberty counting",
+    build=build,
+    n_inputs=2,
+    mem_profile="low",
+)

@@ -1,0 +1,90 @@
+"""464.h264ref-like workload: video motion estimation.
+
+Sum-of-absolute-differences block search between two frames — nested-loop
+2D array access with a modest, regularly-strided working set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def _frame(seed: int, nbytes: int) -> bytes:
+    rng = random.Random(seed * 911)
+    value = 128
+    out = bytearray()
+    for _ in range(nbytes):
+        value = max(0, min(255, value + rng.randint(-6, 6)))
+        out.append(value)
+    return bytes(out)
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    width = 64
+    height = 48 * scale
+    n_blocks = 4 * scale
+    source = f"""
+// SAD of one 8x8 block at (bx,by) vs (rx,ry): the inner loop of motion
+// estimation.
+func sad8(cur, ref, bx, by, rx, ry) {{
+    var y; var x; var total; var a; var b; var diff;
+    total = 0;
+    for (y = 0; y < 8; y = y + 1) {{
+        for (x = 0; x < 8; x = x + 1) {{
+            a = peek8(cur + (by + y) * {width} + bx + x);
+            b = peek8(ref + (ry + y) * {width} + rx + x);
+            diff = a - b;
+            if (diff < 0) {{ diff = 0 - diff; }}
+            total = total + diff;
+        }}
+    }}
+    return total;
+}}
+
+func main() {{
+    var fd; var cur; var ref; var block; var bx; var by; var dx; var dy;
+    var best; var cost; var checksum; var rx; var ry;
+    fd = open("h264.cur");
+    cur = mmap_anon({width * height + 16384});  // full-frame buffer
+    read(fd, cur, {width * height});
+    fd = open("h264.ref");
+    ref = mmap_anon({width * height + 16384});  // full-frame buffer
+    read(fd, ref, {width * height});
+    srand64({seed * 59 + 9});
+    checksum = 0;
+    for (block = 0; block < {n_blocks}; block = block + 1) {{
+        bx = 8 + rand_below({width} - 24);
+        by = 8 + rand_below({height} - 24);
+        best = 1000000;
+        // Diamond search over a +-1 window.
+        for (dy = -1; dy <= 1; dy = dy + 1) {{
+            for (dx = -1; dx <= 1; dx = dx + 1) {{
+                rx = bx + dx;
+                ry = by + dy;
+                cost = sad8(cur, ref, bx, by, rx, ry);
+                if (cost < best) {{ best = cost; }}
+            }}
+        }}
+        checksum = (checksum * 17 + best) % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    files = {
+        "h264.cur": _frame(seed, width * height),
+        "h264.ref": _frame(seed + 100, width * height),
+    }
+    return source, files
+
+
+BENCHMARK = Benchmark(
+    name="h264ref",
+    suite="int",
+    description="8x8 SAD block motion search between two frames",
+    build=build,
+    n_inputs=2,
+    mem_profile="medium",
+)

@@ -1,0 +1,81 @@
+"""456.hmmer-like workload: profile HMM sequence search.
+
+Viterbi dynamic programming over match/insert/delete state rows — regular
+row-streaming memory access with data-dependent maxima, like hmmer's P7
+core loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def _sequence(seed: int, length: int) -> bytes:
+    rng = random.Random(seed * 353)
+    return bytes(rng.randrange(20) for _ in range(length))
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    model_len = 40 * scale
+    seq_len = 60 * scale
+    source = f"""
+global match_score[3072];
+global vit_match[3072];
+global vit_insert[3072];
+global vit_delete[3072];
+
+func main() {{
+    var fd; var seq; var i; var j; var residue; var checksum;
+    var m; var ins; var del; var prev_m; var score; var t;
+    fd = open("hmmer.seq");
+    seq = mmap_anon(4096);
+    read(fd, seq, {seq_len});
+    // Emission scores per (model position x residue class).
+    for (i = 0; i < {model_len}; i = i + 1) {{
+        match_score[i] = (i * 7919) % 17 - 8;
+    }}
+    checksum = 0;
+    for (i = 0; i < {seq_len}; i = i + 1) {{
+        residue = peek8(seq + i);
+        prev_m = 0;
+        for (j = 1; j < {model_len}; j = j + 1) {{
+            score = match_score[j] + (residue * j) % 5 - 2;
+            // m = max(match, insert, delete)[j-1] + score   (inlined maxima)
+            m = vit_match[j - 1];
+            t = vit_insert[j - 1];
+            if (t > m) {{ m = t; }}
+            t = vit_delete[j - 1];
+            if (t > m) {{ m = t; }}
+            m = m + score;
+            ins = vit_match[j];
+            t = vit_insert[j];
+            if (t > ins) {{ ins = t; }}
+            ins = ins - 3;
+            del = prev_m;
+            t = vit_delete[j - 1];
+            if (t > del) {{ del = t; }}
+            del = del - 4;
+            prev_m = vit_match[j];
+            vit_match[j] = m;
+            vit_insert[j] = ins;
+            vit_delete[j] = del;
+        }}
+        checksum = (checksum + vit_match[{model_len} - 1]) % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {"hmmer.seq": _sequence(seed, seq_len)}
+
+
+BENCHMARK = Benchmark(
+    name="hmmer",
+    suite="int",
+    description="Viterbi dynamic programming over HMM state rows",
+    build=build,
+    n_inputs=2,
+    mem_profile="medium",
+)

@@ -1,0 +1,63 @@
+"""462.libquantum-like workload: quantum register simulation.
+
+Repeated full sweeps over a large amplitude array applying gate
+transformations (toffoli/cnot-style index arithmetic plus conditional bit
+flips) — long sequential streams over a working set that overwhelms caches.
+One of the paper's memory-contention-dominated benchmarks (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_states = 24576 * scale      # 192 KB amplitude array, swept repeatedly
+    n_sweeps = 2 * scale
+    source = f"""
+func main() {{
+    var reg; var i; var sweep; var state; var target; var checksum;
+    var control; var bit;
+    reg = mmap_anon({n_states} * 8);
+    srand64({seed * 41 + 11});
+    // Amplitudes initialized from the kernel RNG: one big syscall whose
+    // output must be recorded and replayed to checkers.
+    getrandom(reg, {n_states} * 8);
+    checksum = 0;
+    for (sweep = 0; sweep < {n_sweeps}; sweep = sweep + 1) {{
+        control = 1 << (sweep % 12);
+        bit = 1 << ((sweep + 5) % 12);
+        // Phase sweep: unconditional read-modify-write stream over the
+        // whole register, then a conditional CNOT-style exchange.
+        for (i = 0; i < {n_states}; i = i + 2) {{
+            state = peek64(reg + i * 8);
+            poke64(reg + i * 8, state ^ control);
+            if (i & control) {{
+                target = i ^ bit;
+                if (target > i) {{
+                    poke64(reg + target * 8, state);
+                }}
+            }}
+        }}
+        checksum = (checksum + peek64(reg + (sweep * 977 % {n_states}) * 8))
+                   % 1000000007;
+    }}
+    for (i = 0; i < {n_states}; i = i + {max(1, 16 // scale)}) {{
+        checksum = (checksum + peek64(reg + i * 8)) % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="libquantum",
+    suite="int",
+    description="quantum register gate sweeps over a large amplitude array",
+    build=build,
+    n_inputs=1,
+    mem_profile="high",
+)

@@ -1,0 +1,75 @@
+"""433.milc-like workload: lattice QCD streaming.
+
+Complex 3x3 (SU(3)) matrix-vector products streamed across every site of a
+4D lattice stored in heap memory — long unit-stride floating-point streams
+over a working set far beyond cache, the paper's archetypal
+memory-intensive FP benchmark (high contention, frequent checker
+migration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_sites = 2048 * scale     # x 18 doubles (3x3 complex) = 288 KB
+    n_iters = 1 * scale
+    source = f"""
+global float vec_re[3];
+global float vec_im[3];
+
+func main() {{
+    var links; var site; var it; var row; var col; var base; var checksum;
+    float acc_re; float acc_im; float mre; float mim; float vr; float vi;
+    links = mmap_anon({n_sites} * 144);
+    // Initialize the link elements the kernel touches (streaming writes).
+    for (site = 0; site < {n_sites}; site = site + 1) {{
+        base = links + site * 144;
+        for (row = 0; row < 3; row = row + 1) {{
+            col = row * 6;
+            pokef(base + col * 8, float((site * 31 + col * 7) % 97) * 0.01);
+            pokef(base + (col + 1) * 8,
+                  float((site * 17 + col * 13) % 89) * 0.01);
+        }}
+        pokef(base + 16 * 8, 0.0);
+    }}
+    vec_re[0] = 0.5; vec_re[1] = -0.25; vec_re[2] = 0.125;
+    vec_im[0] = 0.1; vec_im[1] = 0.2;  vec_im[2] = -0.3;
+    checksum = 0;
+    for (it = 0; it < {n_iters}; it = it + 1) {{
+        acc_re = 0.0;
+        acc_im = 0.0;
+        for (site = 0; site < {n_sites}; site = site + 1) {{
+            base = links + site * 144;
+            for (row = 0; row < 3; row = row + 1) {{
+                mre = peekf(base + (row * 6) * 8);
+                mim = peekf(base + (row * 6 + 1) * 8);
+                vr = vec_re[row];
+                vi = vec_im[row];
+                // complex multiply-accumulate: (mre+i*mim)*(vr+i*vi)
+                acc_re = acc_re + mre * vr - mim * vi;
+                acc_im = acc_im + mre * vi + mim * vr;
+            }}
+            // scattered update back into the lattice
+            pokef(base + 16 * 8, acc_re * 0.0001);
+        }}
+        checksum = (checksum + int(acc_re * 100.0) + int(acc_im * 10.0))
+                   % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="milc",
+    suite="fp",
+    description="SU(3)-style complex matrix streaming over a big lattice",
+    build=build,
+    n_inputs=1,
+    mem_profile="high",
+)

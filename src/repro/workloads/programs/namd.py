@@ -1,0 +1,82 @@
+"""444.namd-like workload: molecular dynamics pair interactions.
+
+Lennard-Jones force accumulation over particle pairs within a cutoff —
+floating-point compute-dominated with a small resident particle set
+(namd is one of SPEC fp's most cache-friendly codes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_particles = 40
+    n_steps = 3 * scale
+    source = f"""
+global float px[64];
+global float py[64];
+global float pz[64];
+global float fx[64];
+global float fy[64];
+global float fz[64];
+
+func main() {{
+    var i; var j; var step; var checksum;
+    float dx; float dy; float dz; float r2; float inv; float force;
+    float energy;
+    for (i = 0; i < {n_particles}; i = i + 1) {{
+        px[i] = float((i * 17) % 23) * 0.3;
+        py[i] = float((i * 29) % 19) * 0.4;
+        pz[i] = float((i * 41) % 31) * 0.2;
+    }}
+    checksum = 0;
+    for (step = 0; step < {n_steps}; step = step + 1) {{
+        energy = 0.0;
+        for (i = 0; i < {n_particles}; i = i + 1) {{
+            fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0;
+        }}
+        for (i = 0; i < {n_particles}; i = i + 1) {{
+            for (j = i + 1; j < {n_particles}; j = j + 1) {{
+                dx = px[i] - px[j];
+                dy = py[i] - py[j];
+                dz = pz[i] - pz[j];
+                r2 = dx * dx + dy * dy + dz * dz + 0.01;
+                if (r2 < 16.0) {{
+                    // Lennard-Jones 6-12 via reciprocal powers.
+                    inv = 1.0 / r2;
+                    force = inv * inv * inv * (inv * 2.0 - 1.0);
+                    fx[i] = fx[i] + force * dx;
+                    fy[i] = fy[i] + force * dy;
+                    fz[i] = fz[i] + force * dz;
+                    fx[j] = fx[j] - force * dx;
+                    fy[j] = fy[j] - force * dy;
+                    fz[j] = fz[j] - force * dz;
+                    energy = energy + force * r2;
+                }}
+            }}
+        }}
+        // Velocity-free position update (steepest descent step).
+        for (i = 0; i < {n_particles}; i = i + 1) {{
+            px[i] = px[i] + fx[i] * 0.001;
+            py[i] = py[i] + fy[i] * 0.001;
+            pz[i] = pz[i] + fz[i] * 0.001;
+        }}
+        checksum = (checksum * 11 + int(energy * 100.0)) % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="namd",
+    suite="fp",
+    description="Lennard-Jones pair forces over a small particle set",
+    build=build,
+    n_inputs=1,
+    mem_profile="low",
+)

@@ -1,0 +1,110 @@
+"""471.omnetpp-like workload: discrete-event network simulation.
+
+A binary-heap future-event set driving message hops across a ring of
+modules with queueing delays — irregular heap churn and pointer-style
+indexing, like omnetpp's event scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_events = 550 * scale
+    source = f"""
+global heap_time[8192];
+global heap_node[8192];
+global heap_size;
+global node_busy[64];
+
+func heap_push(time, node) {{
+    var i; var parent; var t;
+    i = heap_size;
+    heap_size = heap_size + 1;
+    heap_time[i] = time;
+    heap_node[i] = node;
+    while (i > 0) {{
+        parent = (i - 1) / 2;
+        if (heap_time[parent] <= heap_time[i]) {{ break; }}
+        t = heap_time[parent]; heap_time[parent] = heap_time[i];
+        heap_time[i] = t;
+        t = heap_node[parent]; heap_node[parent] = heap_node[i];
+        heap_node[i] = t;
+        i = parent;
+    }}
+    return heap_size;
+}}
+
+// Pop the earliest event; returns time * 64 + node packed in one word.
+func heap_pop() {{
+    var result; var i; var child; var t;
+    result = heap_time[0] * 64 + heap_node[0];
+    heap_size = heap_size - 1;
+    heap_time[0] = heap_time[heap_size];
+    heap_node[0] = heap_node[heap_size];
+    i = 0;
+    while (1) {{
+        child = i * 2 + 1;
+        if (child >= heap_size) {{ break; }}
+        if (child + 1 < heap_size && heap_time[child + 1] < heap_time[child]) {{
+            child = child + 1;
+        }}
+        if (heap_time[i] <= heap_time[child]) {{ break; }}
+        t = heap_time[i]; heap_time[i] = heap_time[child];
+        heap_time[child] = t;
+        t = heap_node[i]; heap_node[i] = heap_node[child];
+        heap_node[child] = t;
+        i = child;
+    }}
+    return result;
+}}
+
+func main() {{
+    var i; var packed; var now; var node; var target; var delay;
+    var processed; var checksum;
+    srand64({seed * 101 + 13});
+    heap_size = 0;
+    for (i = 0; i < 32; i = i + 1) {{
+        heap_push(rand_below(50), i % 64);
+    }}
+    checksum = 0;
+    processed = 0;
+    while (heap_size > 0 && processed < {n_events}) {{
+        packed = heap_pop();
+        now = packed / 64;
+        node = packed % 64;
+        node_busy[node] = node_busy[node] + 1;
+        // Forward the message to a neighbour with queueing delay.
+        target = (node + 1 + rand_below(3)) % 64;
+        delay = 1 + rand_below(9) + node_busy[target] % 4;
+        if (heap_size < 4000) {{
+            heap_push(now + delay, target);
+        }}
+        // Occasionally fan out a broadcast (burst of events).
+        if (processed % 97 == 0 && heap_size < 3900) {{
+            heap_push(now + 2, (node + 7) % 64);
+            heap_push(now + 3, (node + 13) % 64);
+        }}
+        checksum = (checksum * 7 + now + node) % 1000000007;
+        processed = processed + 1;
+    }}
+    for (i = 0; i < 64; i = i + 1) {{
+        checksum = (checksum + node_busy[i] * i) % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="omnetpp",
+    suite="int",
+    description="binary-heap discrete-event simulation of a module ring",
+    build=build,
+    n_inputs=1,
+    mem_profile="medium",
+)

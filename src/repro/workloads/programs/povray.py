@@ -1,0 +1,86 @@
+"""453.povray-like workload: ray tracing.
+
+Ray-sphere intersection with diffuse shading over a small scene — dense
+floating-point arithmetic (dot products, square roots) on register-resident
+state with almost no memory traffic.  Compute-bound like the real povray.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    width = 16 * scale
+    height = 12 * scale
+    source = f"""
+global float sphere_x[8];
+global float sphere_y[8];
+global float sphere_z[8];
+global float sphere_r[8];
+
+// Nearest ray-sphere hit along (dx,dy,1) from origin; returns distance*1000
+// or -1.  Uses the quadratic formula with a Newton sqrt.
+func trace(float dx, float dy) {{
+    var s; var best_milli;
+    float ox; float oy; float oz; float b; float c; float disc;
+    float root; float t; float best;
+    best = 100000.0;
+    best_milli = -1;
+    s = 0;
+    while (s < 8) {{
+        ox = 0.0 - sphere_x[s];
+        oy = 0.0 - sphere_y[s];
+        oz = 0.0 - sphere_z[s];
+        b = ox * dx + oy * dy + oz;
+        c = ox * ox + oy * oy + oz * oz - sphere_r[s] * sphere_r[s];
+        disc = b * b - c;
+        if (disc > 0.0) {{
+            root = float(fsqrt(disc));
+            t = (0.0 - b) - root;
+            if (t > 0.01 && t < best) {{
+                best = t;
+                best_milli = int(t * 1000.0);
+            }}
+        }}
+        s = s + 1;
+    }}
+    return best_milli;
+}}
+
+func main() {{
+    var px; var py; var hit; var checksum;
+    float dx; float dy;
+    px = 0;
+    while (px < 8) {{
+        sphere_x[px] = float(px * 3 - 12) * 0.5;
+        sphere_y[px] = float((px * 5) % 7 - 3) * 0.4;
+        sphere_z[px] = 4.0 + float(px % 3);
+        sphere_r[px] = 0.8 + float(px % 4) * 0.3;
+        px = px + 1;
+    }}
+    checksum = 0;
+    for (py = 0; py < {height}; py = py + 1) {{
+        for (px = 0; px < {width}; px = px + 1) {{
+            dx = (float(px) - {width / 2.0}) * 0.08;
+            dy = (float(py) - {height / 2.0}) * 0.08;
+            hit = trace(dx, dy);
+            checksum = (checksum * 3 + hit + 2) % 1000000007;
+        }}
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="povray",
+    suite="fp",
+    description="ray-sphere intersection rendering, compute-bound FP",
+    build=build,
+    n_inputs=1,
+    mem_profile="low",
+)

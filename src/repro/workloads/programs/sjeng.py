@@ -1,0 +1,81 @@
+"""458.sjeng-like workload: game-tree search.
+
+Alpha-beta minimax over a synthetic game with a small evaluation table —
+deep recursion, dense branching, and register-resident state.  The paper's
+compute-bound long-runner: only ~2x little-core slowdown and a 20-billion-
+cycle sweet spot in figure 9 (it is the longest of the sensitivity trio).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_positions = 70 * scale
+    source = f"""
+global eval_table[64];
+
+// Static evaluation: pure register arithmetic on the position key.
+func evaluate(pos) {{
+    var score; var piece; var mobility;
+    piece = pos % 64;
+    if (piece < 0) {{ piece = piece + 64; }}
+    mobility = (pos >> 6) % 28;
+    if (mobility < 0) {{ mobility = mobility + 28; }}
+    score = eval_table[piece] + mobility * 4 - 14;
+    return score;
+}}
+
+// Generate the child position for move m (mixing, no memory).
+func child_of(pos, move) {{
+    var next;
+    next = pos * 6364136223846793005 + move * 1442695040888963407 + 1;
+    return next;
+}}
+
+// Alpha-beta negamax search.
+func search(pos, depth, alpha, beta) {{
+    var move; var score; var best;
+    if (depth == 0) {{ return evaluate(pos); }}
+    best = -1000000;
+    move = 0;
+    while (move < 5) {{
+        score = -search(child_of(pos, move), depth - 1, -beta, -alpha);
+        if (score > best) {{ best = score; }}
+        if (best > alpha) {{ alpha = best; }}
+        if (alpha >= beta) {{ break; }}
+        move = move + 1;
+    }}
+    return best;
+}}
+
+func main() {{
+    var i; var pos; var checksum;
+    for (i = 0; i < 64; i = i + 1) {{
+        eval_table[i] = (i * 37) % 100 - 50;
+    }}
+    srand64({seed * 17 + 3});
+    checksum = 0;
+    pos = {seed} * 715827883;
+    for (i = 0; i < {n_positions}; i = i + 1) {{
+        checksum = (checksum * 31 + search(pos, 3, -1000000, 1000000))
+                   % 1000000007;
+        pos = child_of(pos, checksum % 5);
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="sjeng",
+    suite="int",
+    description="alpha-beta game-tree search, compute-bound and recursive",
+    build=build,
+    n_inputs=1,
+    mem_profile="low",
+)

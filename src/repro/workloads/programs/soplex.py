@@ -1,0 +1,75 @@
+"""450.soplex-like workload: simplex linear programming.
+
+Sparse matrix-vector products and ratio-test pivoting over a CSR-style
+constraint matrix.  SPEC runs soplex as multiple shortish processes, which
+shows up in its last-checker-sync overhead (paper §5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_rows = 96 * scale
+    nnz_per_row = 12
+    n_pivots = 2 * scale
+    source = f"""
+global col_index[8192];
+global float coef[8192];
+global float solution[256];
+global float row_value[256];
+
+func main() {{
+    var row; var k; var pivot; var idx; var best_row; var checksum;
+    float value; float best; float ratio;
+    srand64({seed * 211 + 31});
+    // Build a CSR-ish sparse matrix: {nnz_per_row} nonzeros per row.
+    for (row = 0; row < {n_rows}; row = row + 1) {{
+        for (k = 0; k < {nnz_per_row}; k = k + 1) {{
+            idx = row * {nnz_per_row} + k;
+            col_index[idx] = rand_below(256);
+            coef[idx] = float(1 + rand_below(100)) * 0.01;
+        }}
+    }}
+    for (k = 0; k < 256; k = k + 1) {{ solution[k] = 1.0; }}
+    checksum = 0;
+    for (pivot = 0; pivot < {n_pivots}; pivot = pivot + 1) {{
+        // Sparse mat-vec: row values from the current solution.
+        best = -1000000.0;
+        best_row = 0;
+        for (row = 0; row < {n_rows}; row = row + 1) {{
+            value = 0.0;
+            for (k = 0; k < {nnz_per_row}; k = k + 1) {{
+                idx = row * {nnz_per_row} + k;
+                value = value + coef[idx] * solution[col_index[idx]];
+            }}
+            row_value[row % 256] = value;
+            if (value > best) {{ best = value; best_row = row; }}
+        }}
+        // Ratio-test pivot: scale the entering column's variables.
+        ratio = 1.0 / (best + 1.0);
+        for (k = 0; k < {nnz_per_row}; k = k + 1) {{
+            idx = best_row * {nnz_per_row} + k;
+            solution[col_index[idx]] =
+                solution[col_index[idx]] * (1.0 - ratio) + ratio;
+        }}
+        checksum = (checksum * 23 + best_row + int(best * 10.0))
+                   % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {}
+
+
+BENCHMARK = Benchmark(
+    name="soplex",
+    suite="fp",
+    description="sparse simplex pivoting with CSR mat-vec products",
+    build=build,
+    n_inputs=2,
+    mem_profile="medium",
+)

@@ -1,0 +1,78 @@
+"""482.sphinx3-like workload: speech recognition scoring.
+
+Gaussian mixture model log-likelihood evaluation of acoustic feature
+frames — dot-product-style FP loops over medium-sized senone tables with a
+data-dependent best-scoring search.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import Dict, Tuple
+
+from repro.workloads.registry import Benchmark
+
+
+def _features(seed: int, n_frames: int, dims: int) -> bytes:
+    rng = random.Random(seed * 509)
+    out = bytearray()
+    for _ in range(n_frames * dims):
+        out += struct.pack("<d", rng.uniform(-1.0, 1.0))
+    return bytes(out)
+
+
+def build(scale: int = 1, seed: int = 1) -> Tuple[str, Dict[str, bytes]]:
+    n_frames = 24 * scale
+    n_senones = 24
+    dims = 8
+    source = f"""
+global float mean[6144];
+global float variance[6144];
+global float score[32];
+
+func main() {{
+    var fd; var feats; var frame; var s; var d; var best_senone;
+    var checksum; var base;
+    float x; float diff; float ll; float best;
+    fd = open("sphinx.feat");
+    feats = mmap_anon({max(4096, n_frames * dims * 8)});
+    read(fd, feats, {n_frames * dims * 8});
+    for (s = 0; s < {n_senones}; s = s + 1) {{
+        for (d = 0; d < {dims}; d = d + 1) {{
+            mean[s * {dims} + d] = float((s * 13 + d * 7) % 21 - 10) * 0.1;
+            variance[s * {dims} + d] = 0.5 + float((s + d) % 5) * 0.2;
+        }}
+    }}
+    checksum = 0;
+    for (frame = 0; frame < {n_frames}; frame = frame + 1) {{
+        base = feats + frame * {dims * 8};
+        best = -100000.0;
+        best_senone = 0;
+        for (s = 0; s < {n_senones}; s = s + 1) {{
+            ll = 0.0;
+            for (d = 0; d < {dims}; d = d + 1) {{
+                x = peekf(base + d * 8);
+                diff = x - mean[s * {dims} + d];
+                ll = ll - diff * diff / variance[s * {dims} + d];
+            }}
+            score[s % 32] = ll;
+            if (ll > best) {{ best = ll; best_senone = s; }}
+        }}
+        checksum = (checksum * 31 + best_senone + int(best * 10.0) + 500)
+                   % 1000000007;
+    }}
+    print_int(checksum);
+}}
+"""
+    return source, {"sphinx.feat": _features(seed, n_frames, dims)}
+
+
+BENCHMARK = Benchmark(
+    name="sphinx3",
+    suite="fp",
+    description="GMM log-likelihood scoring of acoustic frames",
+    build=build,
+    n_inputs=1,
+    mem_profile="medium",
+)

@@ -1,0 +1,95 @@
+"""Benchmark registry: the SPEC CPU2006-like workload suite.
+
+SPEC CPU2006 itself cannot be redistributed (the paper's artifact has the
+same limitation), so each benchmark here is a mini-C program written to
+match its namesake's *computational character* — instruction mix, memory
+intensity, working-set streaming pattern, and input structure (gcc has 9
+inputs, bzip2 6, ...).  The registry records the characteristics the
+evaluation relies on; the actual memory behaviour is *measured* by the
+simulator, not asserted.
+
+Scales: ``ref`` for the headline figures, ``test`` for unit tests and
+fault-injection campaigns (paper-style full runs per injection).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.isa.program import Program
+from repro.minic import compile_source
+
+#: source text, input files
+BuildResult = Tuple[str, Dict[str, bytes]]
+
+
+@dataclass
+class Benchmark:
+    name: str
+    suite: str                         # 'int' or 'fp'
+    description: str
+    #: build(scale, seed) -> (mini-C source, input files)
+    build: Callable[[int, int], BuildResult]
+    #: Number of separate inputs; each runs as its own process, SPEC-style
+    #: (gcc's 9 inputs make last-checker sync visible, paper §5.5).
+    n_inputs: int = 1
+    #: Qualitative memory intensity ('low'|'medium'|'high') — documentation
+    #: only; the simulator measures the real ratio.
+    mem_profile: str = "medium"
+
+    def program(self, scale: int = 1, seed: int = 1) -> Program:
+        source, _ = self.build(scale, seed)
+        return compile_source(source, name=f"{self.name}-{seed}")
+
+    def files(self, scale: int = 1, seed: int = 1) -> Dict[str, bytes]:
+        _, files = self.build(scale, seed)
+        return files
+
+    def input_seeds(self) -> List[int]:
+        return list(range(1, self.n_inputs + 1))
+
+
+_MODULES = [
+    "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng", "libquantum",
+    "h264ref", "omnetpp", "astar",
+    "milc", "namd", "soplex", "povray", "lbm", "sphinx3",
+]
+
+_registry: Optional[Dict[str, Benchmark]] = None
+
+
+def all_benchmarks() -> Dict[str, Benchmark]:
+    """Import and return every benchmark, keyed by name."""
+    global _registry
+    if _registry is None:
+        _registry = {}
+        for module_name in _MODULES:
+            module = importlib.import_module(
+                f"repro.workloads.programs.{module_name}")
+            benchmark = module.BENCHMARK
+            _registry[benchmark.name] = benchmark
+    return _registry
+
+
+def benchmark(name: str) -> Benchmark:
+    registry = all_benchmarks()
+    if name not in registry:
+        raise KeyError(f"unknown benchmark {name!r}; have "
+                       f"{sorted(registry)}")
+    return registry[name]
+
+
+def int_benchmarks() -> List[Benchmark]:
+    return [b for b in all_benchmarks().values() if b.suite == "int"]
+
+
+def fp_benchmarks() -> List[Benchmark]:
+    return [b for b in all_benchmarks().values() if b.suite == "fp"]
+
+
+#: The three benchmarks the paper's §5.5 sensitivity study uses, chosen for
+#: their contrasting characters: gcc (many short inputs), mcf
+#: (memory-intensive), sjeng (long and compute-bound).
+SENSITIVITY_TRIO = ("gcc", "mcf", "sjeng")

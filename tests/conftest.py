@@ -1,0 +1,6 @@
+"""Make tests/ importable as a flat namespace (helpers.py)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

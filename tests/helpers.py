@@ -1,0 +1,48 @@
+"""Shared test helpers: compile and run programs on the simulated machine."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.isa import Program
+from repro.kernel import Kernel
+from repro.minic import compile_source
+from repro.sim import Executor, PlatformConfig, apple_m2
+
+
+def make_machine(platform: Optional[PlatformConfig] = None, seed: int = 0,
+                 aslr: bool = True, quantum: int = 2000
+                 ) -> Tuple[Kernel, Executor]:
+    platform = platform or apple_m2()
+    kernel = Kernel(page_size=platform.page_size, seed=seed, aslr=aslr)
+    executor = Executor(kernel, platform, quantum=quantum)
+    return kernel, executor
+
+
+def run_program(program: Program,
+                files: Optional[Dict[str, bytes]] = None,
+                platform: Optional[PlatformConfig] = None,
+                seed: int = 0, quantum: int = 2000):
+    """Run a program natively (no fault-tolerance runtime).
+
+    Returns (kernel, executor, process).
+    """
+    kernel, executor = make_machine(platform, seed=seed, quantum=quantum)
+    for path, data in (files or {}).items():
+        kernel.vfs.register(path, data)
+    proc = kernel.spawn(program)
+    executor.schedule_default(proc)
+    executor.run()
+    return kernel, executor, proc
+
+
+def run_minic(source: str, files: Optional[Dict[str, bytes]] = None,
+              platform: Optional[PlatformConfig] = None, seed: int = 0,
+              quantum: int = 2000):
+    """Compile mini-C and run it natively; returns (kernel, executor, proc)."""
+    return run_program(compile_source(source), files=files,
+                       platform=platform, seed=seed, quantum=quantum)
+
+
+def stdout_of(kernel: Kernel) -> str:
+    return kernel.console.text()

@@ -1,0 +1,107 @@
+"""Tests for the checker scheduler and DVFS pacer (paper §4.5)."""
+
+import pytest
+
+from repro.core import Parallaft, ParallaftConfig
+from repro.minic import compile_source
+from repro.sim import apple_m2
+from repro.workloads import synthetic_source
+
+
+def run_workload(mem_ops=4, footprint=262144, iters=8000, period=200_000_000,
+                 migration=True, pacer=True, checker_cluster="little"):
+    source = synthetic_source(total_iters=iters, footprint_bytes=footprint,
+                              mem_ops_per_iter=mem_ops)
+    config = ParallaftConfig()
+    config.slicing_period = period
+    config.enable_migration = migration
+    config.enable_dvfs_pacer = pacer
+    config.checker_cluster = checker_cluster
+    runtime = Parallaft(compile_source(source), config=config,
+                        platform=apple_m2())
+    stats = runtime.run()
+    assert not stats.error_detected, stats.errors
+    return runtime, stats
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def heavy_run(migration=True):
+    return run_workload(mem_ops=5, footprint=393216, migration=migration)
+
+
+class TestMigration:
+    def test_slow_checkers_migrate_to_big(self):
+        """A memory-heavy workload whose checkers exceed the little
+        cluster's capacity forces oldest-checker migration (figure 4)."""
+        _, stats = heavy_run()
+        assert stats.checker_migrations > 0
+        assert stats.checker_cycles_big > 0
+
+    def test_fast_checkers_stay_on_little(self):
+        _, stats = run_workload(mem_ops=1, footprint=16384, iters=15000)
+        assert stats.checker_cycles_little > 0
+        assert stats.big_core_work_fraction < 0.25
+
+    def test_migration_disabled_keeps_checkers_on_little(self):
+        _, stats = heavy_run(migration=False)
+        assert stats.checker_migrations == 0
+        # All checker work on little cores (except none).
+        assert stats.checker_cycles_big == 0
+
+    def test_migration_bounds_last_checker_lag(self):
+        _, with_mig = heavy_run()
+        _, without = heavy_run(migration=False)
+        lag_with = with_mig.all_wall_time - with_mig.main_wall_time
+        lag_without = without.all_wall_time - without.main_wall_time
+        assert lag_with <= lag_without + 1e-9
+
+    def test_big_cluster_checkers_for_raft_mode(self):
+        _, stats = run_workload(checker_cluster="big", migration=False,
+                                pacer=False)
+        assert stats.checker_cycles_big > 0
+        assert stats.checker_cycles_little == 0
+
+
+class TestPacer:
+    def test_pacer_lowers_little_frequency_for_light_checkers(self):
+        runtime, stats = run_workload(mem_ops=1, footprint=16384,
+                                      iters=10000)
+        assert stats.pacer_freq_history, "pacer never updated"
+        platform_max = apple_m2().little_freq_max_hz
+        assert min(stats.pacer_freq_history) < 0.9 * platform_max
+
+    def test_pacer_saves_energy_on_light_checkers(self):
+        _, paced = run_workload(mem_ops=1, footprint=16384, iters=10000)
+        _, unpaced = run_workload(mem_ops=1, footprint=16384, iters=10000,
+                                  pacer=False)
+        assert paced.energy_joules < unpaced.energy_joules
+
+    def test_pacer_disabled_runs_at_max(self):
+        _, stats = run_workload(pacer=False)
+        assert stats.pacer_freq_history == []
+
+    def test_frequency_restored_at_main_exit(self):
+        """After the main exits, stragglers run flat-out (§4.5)."""
+        runtime, _ = run_workload(mem_ops=3, footprint=262144)
+        for core in runtime.executor.little_cores:
+            assert core.freq_hz == core.freq_max_hz
+
+
+class TestSchedulerQueueing:
+    def test_segments_queue_when_no_core_free(self):
+        """With migration off and many slow segments, READY segments wait
+        in the pending queue instead of crashing or double-assigning."""
+        runtime, stats = run_workload(mem_ops=5, footprint=393216,
+                                      period=100_000_000, migration=False,
+                                      iters=5000)
+        assert stats.segments_checked == len(runtime.segments)
+        # One occupant per core was maintained throughout (the executor
+        # would have raised otherwise).
+
+    def test_checker_core_occupancy_exclusive(self):
+        runtime, _ = run_workload()
+        for core in runtime.executor.cores:
+            assert core.occupant is None  # everything drained at the end

@@ -1,0 +1,61 @@
+"""Tests for the shared utility layer (units, errors)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import (
+    BILLION,
+    DEFAULT_CYCLE_SCALE,
+    MismatchError,
+    ReproError,
+    cycles_to_seconds,
+    format_cycles,
+    hw_to_virtual_cycles,
+    seconds_to_cycles,
+    virtual_to_hw_cycles,
+)
+from repro.common.errors import AssemblerError, CompileError
+
+
+class TestUnits:
+    def test_hw_virtual_round_trip(self):
+        hw = 5 * BILLION
+        virtual = hw_to_virtual_cycles(hw)
+        assert virtual == 50_000
+        assert virtual_to_hw_cycles(virtual) == hw
+
+    def test_hw_to_virtual_never_zero(self):
+        assert hw_to_virtual_cycles(1) == 1
+
+    def test_cycles_seconds_round_trip(self):
+        assert cycles_to_seconds(3.5e9, 3.5e9) == pytest.approx(1.0)
+        assert seconds_to_cycles(2.0, 3.5e9) == pytest.approx(7.0e9)
+
+    def test_format_cycles(self):
+        assert format_cycles(5 * BILLION) == "5 billion"
+        assert format_cycles(2_500_000) == "2.5 million"
+        assert format_cycles(42) == "42"
+
+    @given(st.integers(min_value=1, max_value=10**14))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_within_scale(self, hw):
+        virtual = hw_to_virtual_cycles(hw)
+        back = virtual_to_hw_cycles(virtual)
+        assert abs(back - hw) < DEFAULT_CYCLE_SCALE
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(AssemblerError, ReproError)
+        assert issubclass(CompileError, ReproError)
+        assert issubclass(MismatchError, ReproError)
+
+    def test_line_numbers_in_messages(self):
+        assert "line 7" in str(AssemblerError("bad", line=7))
+        assert "line" not in str(AssemblerError("bad"))
+        assert "line 3" in str(CompileError("oops", line=3))
+
+    def test_mismatch_detail_payload(self):
+        error = MismatchError("diverged", detail={"page": 3})
+        assert error.detail == {"page": 3}

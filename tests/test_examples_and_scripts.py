@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(ROOT, "examples")
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout, cwd=ROOT)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "sum of squares" in result.stdout
+        assert "segments checked" in result.stdout
+
+    def test_protect_binary_default(self):
+        result = run_example("protect_binary.py")
+        assert result.returncode == 0, result.stderr
+        assert "timing.all_wall_time" in result.stdout
+
+    def test_protect_binary_raft_mode(self):
+        result = run_example("protect_binary.py", "--raft")
+        assert result.returncode == 0, result.stderr
+
+    def test_fault_injection_demo(self):
+        result = run_example("fault_injection_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "summary:" in result.stdout
+        assert "detected" in result.stdout
+
+    def test_heterogeneous_scheduling(self):
+        result = run_example("heterogeneous_scheduling.py", timeout=360)
+        assert result.returncode == 0, result.stderr
+        assert "Parallaft" in result.stdout
+        assert "RAFT" in result.stdout
+
+    @pytest.mark.slow
+    def test_slicing_tradeoff(self):
+        result = run_example("slicing_tradeoff.py", "sjeng", timeout=400)
+        assert result.returncode == 0, result.stderr
+        assert "sweet spot" in result.stdout

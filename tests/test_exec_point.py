@@ -1,0 +1,181 @@
+"""Unit tests for execution-point record/replay (paper §4.2, figure 3)."""
+
+import pytest
+
+from repro.core.config import ExecPointCounter
+from repro.core.exec_point import (
+    ExecPoint,
+    ExecPointReplayer,
+    ReplayOutcome,
+    ReplayPhase,
+    ReplayStop,
+    ReplayStopKind,
+)
+from repro.cpu import CpuContext, StopReason, run
+from repro.isa import assemble
+from repro.mem import AddressSpace, FramePool
+
+
+class ReplayProcess:
+    """A process-alike running a deterministic branchy loop."""
+
+    def __init__(self, iters=200, skid=0):
+        self.pool = FramePool(4096)
+        self.mem = AddressSpace(self.pool, aslr=False)
+        self.mem.load_program(assemble(f"""
+            li r1, {iters}
+        loop:
+            addi r2, r2, 3
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """))
+        self.cpu = CpuContext()
+        self.cpu.pc = self.mem.code_base
+        self._skid = skid
+        self.nondet = None
+
+    def skid_draw(self):
+        return self._skid
+
+    @property
+    def loop_addr(self):
+        return self.mem.code_base + 4  # first instruction of the loop body
+
+
+def record_point(iters, stop_after_branches):
+    """Run the reference execution, stopping at a branch count: returns the
+    (pc, branches) ExecPoint a recorder would capture."""
+    proc = ReplayProcess(iters)
+    proc.cpu.arm_branch_overflow(stop_after_branches)
+    stop = run(proc, 10**6)
+    assert stop.reason == StopReason.COUNTER_OVERFLOW
+    return ExecPoint(proc.cpu.pc, proc.cpu.branches_retired,
+                     proc.cpu.instr_retired)
+
+
+def drive(proc, replayer, budget=10**6):
+    """Drive a checker through its replayer until DONE or divergence."""
+    replayer.arm_next()
+    while replayer.phase != ReplayPhase.DONE:
+        stop = run(proc, budget)
+        if stop.reason == StopReason.COUNTER_OVERFLOW:
+            outcome = replayer.on_overflow()
+        elif stop.reason == StopReason.BREAKPOINT:
+            outcome = replayer.on_breakpoint()
+        elif stop.reason == StopReason.HALTED:
+            return "halted"
+        else:
+            raise AssertionError(stop)
+        if outcome == ReplayOutcome.OVERRUN:
+            return "overrun"
+        if outcome == ReplayOutcome.REACHED:
+            stop_obj = replayer.stops[replayer.index - 1]
+            if stop_obj.kind == ReplayStopKind.SEGMENT_END:
+                return "reached"
+            replayer.arm_next()
+    return "done"
+
+
+class TestReplayExactness:
+    @pytest.mark.parametrize("skid", [0, 3, 5])
+    @pytest.mark.parametrize("target_branches", [1, 7, 50, 150])
+    def test_replay_stops_exactly(self, skid, target_branches):
+        point = record_point(200, target_branches)
+        checker = ReplayProcess(200, skid=skid)
+        replayer = ExecPointReplayer(
+            checker, [ReplayStop(point, ReplayStopKind.SEGMENT_END)],
+            skid_buffer=8)
+        assert drive(checker, replayer) == "reached"
+        assert checker.cpu.pc == point.pc
+        assert checker.cpu.branches_retired == point.branches
+
+    def test_replay_distinguishes_loop_iterations(self):
+        """Same PC, different branch counts: the replayer must pick the
+        right iteration (paper footnote 5)."""
+        for target in (10, 11, 12):
+            point = record_point(100, target)
+            checker = ReplayProcess(100)
+            replayer = ExecPointReplayer(
+                checker, [ReplayStop(point, ReplayStopKind.SEGMENT_END)],
+                skid_buffer=4)
+            assert drive(checker, replayer) == "reached"
+            assert checker.cpu.branches_retired == target
+
+    def test_zero_skid_buffer_with_real_skid_overruns(self):
+        """Without the buffer, skid pushes the stop past the target: the
+        failure mode §4.2.2's design avoids."""
+        point = record_point(200, 50)
+        overruns = 0
+        for _ in range(5):
+            checker = ReplayProcess(200, skid=4)
+            replayer = ExecPointReplayer(
+                checker, [ReplayStop(point, ReplayStopKind.SEGMENT_END)],
+                skid_buffer=0)
+            if drive(checker, replayer) == "overrun":
+                overruns += 1
+        assert overruns > 0
+
+    def test_multiple_stops_in_order(self):
+        """Signal stops before the segment end are reached in sequence."""
+        p1 = record_point(300, 20)
+        p2 = record_point(300, 90)
+        end = record_point(300, 250)
+        checker = ReplayProcess(300)
+        reached = []
+        replayer = ExecPointReplayer(
+            checker,
+            [ReplayStop(end, ReplayStopKind.SEGMENT_END),
+             ReplayStop(p1, ReplayStopKind.SIGNAL, signo=10),
+             ReplayStop(p2, ReplayStopKind.SIGNAL, signo=12)],
+            skid_buffer=8)
+        replayer.arm_next()
+        while True:
+            stop = run(checker, 10**6)
+            if stop.reason == StopReason.COUNTER_OVERFLOW:
+                outcome = replayer.on_overflow()
+            elif stop.reason == StopReason.BREAKPOINT:
+                outcome = replayer.on_breakpoint()
+            else:
+                raise AssertionError(stop)
+            if outcome == ReplayOutcome.REACHED:
+                reached.append(checker.cpu.branches_retired)
+                if replayer.index == len(replayer.stops):
+                    break
+                replayer.arm_next()
+        assert reached == [20, 90, 250]
+
+    def test_target_smaller_than_buffer_breakpoints_immediately(self):
+        point = record_point(50, 2)
+        checker = ReplayProcess(50)
+        replayer = ExecPointReplayer(
+            checker, [ReplayStop(point, ReplayStopKind.SEGMENT_END)],
+            skid_buffer=64)
+        replayer.arm_next()
+        assert replayer.phase == ReplayPhase.WAIT_BREAKPOINT
+        assert drive(checker, replayer) == "reached"
+
+    def test_explicit_bases_for_late_arming(self):
+        """RAFT-style: the checker already ran before the end point became
+        known; explicit counter bases keep relative targets correct."""
+        point = record_point(300, 200)
+        checker = ReplayProcess(300)
+        # Let the checker run ahead ~50 branches first.
+        checker.cpu.arm_branch_overflow(50)
+        assert run(checker, 10**6).reason == StopReason.COUNTER_OVERFLOW
+        replayer = ExecPointReplayer(
+            checker, [ReplayStop(point, ReplayStopKind.SEGMENT_END)],
+            skid_buffer=8, branch_base=0, instr_base=0)
+        assert drive(checker, replayer) == "reached"
+        assert checker.cpu.branches_retired == 200
+
+
+class TestExecPointValue:
+    def test_equality_and_hash(self):
+        a = ExecPoint(0x100, 42)
+        b = ExecPoint(0x100, 42)
+        c = ExecPoint(0x100, 43)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a point"
+        assert repr(a).startswith("ExecPoint")

@@ -1,0 +1,173 @@
+"""Tests for the future-work extensions (paper Table 2):
+checker-retry error recovery and error containment in the SoR.
+"""
+
+import pytest
+
+from repro import abi
+from repro.core import Parallaft, ParallaftConfig
+from repro.minic import compile_source
+from repro.sim import apple_m2
+
+WORKLOAD = """
+global data[256];
+func main() {
+    var i; var round; var total;
+    for (round = 0; round < 40; round = round + 1) {
+        for (i = 0; i < 256; i = i + 1) {
+            data[i] = data[i] * 3 + round;
+        }
+    }
+    total = 0;
+    for (i = 0; i < 256; i = i + 1) { total = total + data[i]; }
+    print_int(total);
+}
+"""
+
+
+def make_runtime(retry=False, containment=False, period=500_000_000,
+                 source=WORKLOAD):
+    config = ParallaftConfig()
+    config.slicing_period = period
+    config.retry_failed_checkers = retry
+    config.error_containment = containment
+    return Parallaft(compile_source(source), config=config,
+                     platform=apple_m2())
+
+
+def transient_checker_fault(runtime, once=True):
+    """Hook flipping one register bit in the first checker seen (once)."""
+    fired = [0]
+
+    def hook(proc, role):
+        if role == "checker" and fired[0] == 0 and proc.user_time > 0.001:
+            proc.cpu.regs.flip_bit("gpr", 8, 13)
+            fired[0] += 1
+
+    runtime.quantum_hooks.append(hook)
+    return fired
+
+
+class TestCheckerRetry:
+    def test_transient_checker_fault_recovered(self):
+        """A one-off checker fault is absorbed by a retry: the application
+        survives with correct output and no reported error."""
+        runtime = make_runtime(retry=True)
+        fired = transient_checker_fault(runtime)
+        stats = runtime.run()
+        assert fired[0] == 1
+        assert stats.checker_retries >= 1
+        assert not stats.error_detected, stats.errors
+        assert stats.exit_code == 0
+
+    def test_without_retry_same_fault_kills_the_app(self):
+        runtime = make_runtime(retry=False)
+        fired = transient_checker_fault(runtime)
+        stats = runtime.run()
+        assert fired[0] == 1
+        assert stats.error_detected
+
+    def test_persistent_main_fault_still_reported(self):
+        """A fault in the *main* copy survives the retry (the fresh checker
+        disagrees with the corrupted end checkpoint again) and is reported."""
+        from repro.isa.program import DATA_BASE
+        runtime = make_runtime(retry=True)
+        fired = [False]
+
+        def hook(proc, role):
+            if role == "main" and not fired[0] and proc.user_time > 0.002:
+                proc.mem.store_word(DATA_BASE + 128, 0xBAD)
+                fired[0] = True
+
+        runtime.quantum_hooks.append(hook)
+        stats = runtime.run()
+        assert fired[0]
+        assert stats.error_detected
+        assert stats.checker_retries >= 1   # it tried
+
+    def test_fault_free_run_unaffected_by_retry_mode(self):
+        runtime = make_runtime(retry=True)
+        stats = runtime.run()
+        assert not stats.error_detected
+        assert stats.checker_retries == 0
+
+    def test_retry_timeout_fault(self):
+        """Control-flow corruption (timeout detection) is also retryable."""
+        runtime = make_runtime(retry=True)
+        fired = [0]
+
+        def hook(proc, role):
+            if role == "checker" and fired[0] < 4 and proc.user_time > 0.001 \
+                    and proc.name.startswith("checker-1") \
+                    and "retry" not in proc.name:
+                proc.cpu.regs.gprs[7] = 0  # reset loop counter: never ends
+                fired[0] += 1
+
+        runtime.quantum_hooks.append(hook)
+        stats = runtime.run()
+        assert fired[0] > 0
+        assert not stats.error_detected, stats.errors
+        assert stats.checker_retries >= 1
+
+
+class TestErrorContainment:
+    def test_output_held_until_previous_segments_verified(self):
+        """With containment on, no write escapes while an earlier segment
+        is still unverified: at every write, all previous segments are
+        already CHECKED."""
+        source = """
+        global acc;
+        func main() {
+            var i; var j;
+            for (i = 0; i < 8; i = i + 1) {
+                for (j = 0; j < 6000; j = j + 1) { acc = acc + j; }
+                print_int(acc % 1000003);
+            }
+        }
+        """
+        runtime = make_runtime(containment=True, period=150_000_000,
+                               source=source)
+        violations = []
+        original_entry = runtime._main_syscall_entry
+
+        def checked_entry(proc, sysno, args):
+            action = original_entry(proc, sysno, args)
+            from repro.kernel.process import ProcessState
+            if sysno == abi.SYS_WRITE and proc.state == ProcessState.RUNNING:
+                # The write is about to escape: every earlier segment must
+                # already be verified.
+                current = runtime.current.index if runtime.current else 1e9
+                for segment in runtime.segments:
+                    if segment.index < current and segment.live:
+                        violations.append(segment.index)
+            return action
+
+        runtime._main_syscall_entry = checked_entry
+        stats = runtime.run()
+        assert not stats.error_detected
+        assert stats.exit_code == 0
+        assert violations == []
+
+    def test_containment_costs_performance(self):
+        source = """
+        global acc;
+        func main() {
+            var i; var j;
+            for (i = 0; i < 6; i = i + 1) {
+                for (j = 0; j < 5000; j = j + 1) { acc = acc + j; }
+                print_int(acc % 1000003);
+            }
+        }
+        """
+        contained = make_runtime(containment=True, period=150_000_000,
+                                 source=source).run()
+        free = make_runtime(containment=False, period=150_000_000,
+                            source=source).run()
+        assert not contained.error_detected and not free.error_detected
+        assert contained.stdout == free.stdout
+        # Holding syscalls until verification serializes main and checkers:
+        # the paper rejects it for overhead reasons (§3.4).
+        assert contained.main_wall_time > free.main_wall_time
+
+    def test_containment_off_by_default(self):
+        assert ParallaftConfig().error_containment is False

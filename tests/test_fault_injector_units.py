@@ -1,0 +1,111 @@
+"""Unit tests for the fault-injection machinery itself."""
+
+import pytest
+
+from repro.core import ParallaftConfig
+from repro.faults import CampaignResult, FaultInjector, Outcome
+from repro.faults.outcomes import ERROR_KIND_TO_OUTCOME, InjectionResult
+from repro.minic import compile_source
+from repro.sim import apple_m2
+
+PROGRAM = """
+global grid[64];
+func main() {
+    var i; var round;
+    for (round = 0; round < 25; round = round + 1) {
+        for (i = 0; i < 64; i = i + 1) { grid[i] = grid[i] + round; }
+    }
+    print_int(grid[63]);
+}
+"""
+
+
+def make_injector(period=10**14, seed=0):
+    return FaultInjector(
+        compile_source(PROGRAM),
+        config_factory=lambda: ParallaftConfig(slicing_period=period),
+        platform_factory=apple_m2, seed=seed)
+
+
+class TestOutcomeMapping:
+    def test_every_error_kind_maps(self):
+        for kind in ("state_mismatch", "syscall_divergence",
+                     "exec_point_overrun", "exception", "timeout"):
+            assert kind in ERROR_KIND_TO_OUTCOME
+
+    def test_detected_flags(self):
+        assert Outcome.DETECTED.is_detected
+        assert Outcome.EXCEPTION.is_detected
+        assert Outcome.TIMEOUT.is_detected
+        assert not Outcome.BENIGN.is_detected
+
+    def test_campaign_fractions(self):
+        campaign = CampaignResult("x")
+        for outcome in (Outcome.DETECTED, Outcome.DETECTED, Outcome.BENIGN,
+                        Outcome.TIMEOUT):
+            campaign.injections.append(InjectionResult(
+                outcome, "gpr", 0, 0, 0, 0.0))
+        assert campaign.total == 4
+        assert campaign.fraction(Outcome.DETECTED) == pytest.approx(0.5)
+        assert campaign.detected_fraction == pytest.approx(0.75)
+        assert sum(campaign.summary().values()) == pytest.approx(1.0)
+
+    def test_empty_campaign(self):
+        campaign = CampaignResult("x")
+        assert campaign.detected_fraction == 0.0
+        assert campaign.fraction(Outcome.BENIGN) == 0.0
+
+
+class TestInjectorMechanics:
+    def test_profile_is_fault_free(self):
+        times, reference = make_injector().profile()
+        assert len(times) == 1
+        assert times[0] > 0
+        assert reference.strip().isdigit() or reference.strip().lstrip("-").isdigit()
+
+    def test_injection_into_live_register_detected(self):
+        injector = make_injector()
+        times, reference = injector.profile()
+        result = injector.inject_once(0, times[0] * 0.3, ("gpr", 8, 5),
+                                      reference)
+        assert result is not None
+        assert result.outcome.is_detected
+
+    def test_injection_into_dead_vector_register_detected_by_compare(self):
+        """Even a never-used register flip is caught: the comparison is
+        bit-exact over the whole architectural state."""
+        injector = make_injector()
+        times, reference = injector.profile()
+        result = injector.inject_once(0, times[0] * 0.3, ("vec", 3, 200),
+                                      reference)
+        assert result is not None
+        assert result.outcome == Outcome.DETECTED
+
+    def test_late_injection_misses(self):
+        injector = make_injector()
+        times, reference = injector.profile()
+        assert injector.inject_once(0, times[0] * 100, ("gpr", 1, 1),
+                                    reference) is None
+
+    def test_out_of_range_segment_misses(self):
+        injector = make_injector()
+        times, reference = injector.profile()
+        assert injector.inject_once(99, 0.0, ("gpr", 1, 1),
+                                    reference) is None
+
+    def test_max_segments_sampling(self):
+        injector = make_injector(period=150_000_000, seed=2)
+        campaign = injector.run_campaign(injections_per_segment=1,
+                                         max_segments=2,
+                                         benchmark_name="unit")
+        segments = {r.segment_index for r in campaign.injections}
+        assert len(segments) <= 2
+
+    def test_campaign_reproducible_with_seed(self):
+        def run(seed):
+            campaign = make_injector(period=10**14, seed=seed).run_campaign(
+                injections_per_segment=2, benchmark_name="unit")
+            return [(r.register_file, r.register_index, r.bit,
+                     r.outcome.value) for r in campaign.injections]
+        assert run(3) == run(3)
+        assert run(3) != run(4)

@@ -1,0 +1,125 @@
+"""Tests for the pure-Python xxHash implementations."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import Xxh3_64, Xxh64, xxh3_64, xxh64
+
+
+class TestXxh64KnownVectors:
+    def test_empty_seed0(self):
+        # Canonical vector from the xxHash specification.
+        assert xxh64(b"") == 0xEF46DB3751D8E999
+
+    def test_empty_nonzero_seed_differs(self):
+        assert xxh64(b"", seed=1) != xxh64(b"")
+
+    def test_deterministic(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert xxh64(data) == xxh64(data)
+
+    def test_seed_changes_digest(self):
+        data = b"payload" * 10
+        assert xxh64(data, seed=1) != xxh64(data, seed=2)
+
+    def test_long_input_all_paths(self):
+        # >32 bytes exercises the striped path plus every tail size.
+        base = bytes(range(256)) * 2
+        digests = {xxh64(base[:n]) for n in range(len(base))}
+        assert len(digests) == len(base)
+
+    def test_result_is_64_bit(self):
+        assert 0 <= xxh64(b"x" * 1000) < (1 << 64)
+
+
+class TestXxh64Streaming:
+    def test_matches_oneshot_single_update(self):
+        data = bytes(range(200))
+        assert Xxh64().update(data).digest() == xxh64(data)
+
+    def test_matches_oneshot_split_updates(self):
+        data = bytes(range(251)) * 3
+        for split in (0, 1, 31, 32, 33, 100, len(data)):
+            hasher = Xxh64()
+            hasher.update(data[:split])
+            hasher.update(data[split:])
+            assert hasher.digest() == xxh64(data), f"split={split}"
+
+    def test_seeded_streaming(self):
+        data = b"abcdefgh" * 10
+        assert Xxh64(seed=42).update(data).digest() == xxh64(data, seed=42)
+
+    def test_digest_idempotent(self):
+        hasher = Xxh64().update(b"hello world, this is a test payload!")
+        assert hasher.digest() == hasher.digest()
+
+    @given(st.binary(max_size=500), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_equals_oneshot_property(self, data, split):
+        split = min(split, len(data))
+        hasher = Xxh64()
+        hasher.update(data[:split]).update(data[split:])
+        assert hasher.digest() == xxh64(data)
+
+
+class TestXxh3:
+    def test_deterministic(self):
+        data = b"z" * 4096
+        assert xxh3_64(data) == xxh3_64(data)
+
+    def test_short_input_uses_xxh64_path(self):
+        assert 0 <= xxh3_64(b"short") < (1 << 64)
+
+    def test_page_sized_inputs_disperse(self):
+        pages = [bytes([i]) * 4096 for i in range(64)]
+        digests = {xxh3_64(page) for page in pages}
+        assert len(digests) == 64
+
+    def test_single_bit_flip_changes_digest(self):
+        page = bytearray(16384)
+        baseline = xxh3_64(bytes(page))
+        for bit_byte in (0, 100, 8191, 16383):
+            page[bit_byte] ^= 1
+            assert xxh3_64(bytes(page)) != baseline
+            page[bit_byte] ^= 1
+
+    def test_seed_changes_digest(self):
+        data = bytes(128)
+        assert xxh3_64(data, seed=1) != xxh3_64(data, seed=2)
+
+    def test_tail_bytes_affect_digest(self):
+        data = bytearray(100)  # 64-byte stripe + 36-byte tail
+        baseline = xxh3_64(bytes(data))
+        data[99] ^= 0x80
+        assert xxh3_64(bytes(data)) != baseline
+
+    @given(st.binary(min_size=64, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_avalanche_property(self, data):
+        mutated = bytearray(data)
+        mutated[0] ^= 1
+        assert xxh3_64(bytes(mutated)) != xxh3_64(data)
+
+
+class TestXxh3Streaming:
+    def test_order_sensitive(self):
+        a, b = b"a" * 4096, b"b" * 4096
+        digest_ab = Xxh3_64().update(a).update(b).digest()
+        digest_ba = Xxh3_64().update(b).update(a).digest()
+        assert digest_ab != digest_ba
+
+    def test_deterministic(self):
+        pages = [bytes([i]) * 256 for i in range(8)]
+        first = Xxh3_64()
+        second = Xxh3_64()
+        for page in pages:
+            first.update(page)
+            second.update(page)
+        assert first.digest() == second.digest()
+
+    def test_update_returns_self(self):
+        hasher = Xxh3_64()
+        assert hasher.update(b"x") is hasher

@@ -1,0 +1,253 @@
+"""Tests for the ISA: assembler, disassembler, encoding, program container."""
+
+import pytest
+
+from repro.common.errors import AssemblerError
+from repro.isa import (
+    CODE_BASE,
+    DATA_BASE,
+    INSTR_SIZE,
+    Instr,
+    assemble,
+    decode_instr,
+    decode_program_code,
+    disassemble_instr,
+    disassemble_program,
+    encode_instr,
+    encode_program_code,
+)
+from repro.isa import instructions as ins
+from repro.isa.registers import all_fault_sites, parse_register
+
+
+class TestRegisters:
+    def test_parse_gpr(self):
+        assert parse_register("r0") == ("gpr", 0)
+        assert parse_register("r15") == ("gpr", 15)
+
+    def test_parse_aliases(self):
+        assert parse_register("sp") == ("gpr", 13)
+        assert parse_register("lr") == ("gpr", 14)
+        assert parse_register("fp") == ("gpr", 15)
+
+    def test_parse_fpr_and_vec(self):
+        assert parse_register("f3") == ("fpr", 3)
+        assert parse_register("v2") == ("vec", 2)
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_register("r16")
+        with pytest.raises(ValueError):
+            parse_register("f8")
+        with pytest.raises(ValueError):
+            parse_register("x1")
+
+    def test_fault_sites_cover_all_files(self):
+        sites = all_fault_sites()
+        assert ("gpr", 0, 0) in sites
+        assert ("fpr", 7, 63) in sites
+        assert ("vec", 3, 255) in sites
+        # 16*64 + 8*64 + 4*256
+        assert len(sites) == 16 * 64 + 8 * 64 + 4 * 256
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble("""
+        _start:
+            li r1, 42
+            addi r1, r1, 1
+            halt
+        """)
+        assert len(program) == 3
+        assert program.instrs[0] == Instr(ins.LI, 1, imm=42)
+        assert program.instrs[1] == Instr(ins.ADDI, 1, 1, imm=1)
+        assert program.entry == CODE_BASE
+
+    def test_labels_resolve_to_addresses(self):
+        program = assemble("""
+        loop:
+            addi r1, r1, -1
+            bne r1, r2, loop
+            halt
+        """)
+        branch = program.instrs[1]
+        assert branch.op == ins.BNE
+        assert branch.imm == CODE_BASE  # loop is instruction 0
+
+    def test_forward_reference(self):
+        program = assemble("""
+            jmp end
+            li r1, 1
+        end:
+            halt
+        """)
+        assert program.instrs[0].imm == CODE_BASE + 2 * INSTR_SIZE
+
+    def test_data_section_words(self):
+        program = assemble("""
+        .data
+        table: .word 1, 2, 3
+        .text
+            la r1, table
+            halt
+        """)
+        assert program.data[:8] == (1).to_bytes(8, "little")
+        assert program.instrs[0].imm == DATA_BASE
+
+    def test_data_space_and_ascii(self):
+        program = assemble("""
+        .data
+        buf: .space 16
+        msg: .ascii "hi\\n"
+        .text
+            halt
+        """)
+        assert len(program.data) == 19
+        assert program.data[16:] == b"hi\n"
+
+    def test_data_label_offsets(self):
+        program = assemble("""
+        .data
+        a: .word 7
+        b: .word 8
+        .text
+            la r1, b
+            halt
+        """)
+        assert program.instrs[0].imm == DATA_BASE + 8
+
+    def test_pseudo_instructions(self):
+        program = assemble("""
+            call fn
+            halt
+        fn:
+            ret
+        """)
+        assert program.instrs[0].op == ins.JAL
+        assert program.instrs[2].op == ins.JR
+        assert program.instrs[2].b == 14  # lr
+
+    def test_memory_operand_default_offset(self):
+        program = assemble("ld r1, r2\nhalt\n")
+        assert program.instrs[0].imm == 0
+
+    def test_hex_and_char_immediates(self):
+        program = assemble("""
+            li r1, 0xff
+            li r2, 'A'
+            li r3, -5
+            halt
+        """)
+        assert program.instrs[0].imm == 255
+        assert program.instrs[1].imm == 65
+        assert program.instrs[2].imm == -5
+
+    def test_fli_float_immediate(self):
+        program = assemble("fli f0, 3.5\nhalt\n")
+        assert program.instrs[0].imm == 3.5
+
+    def test_comments_ignored(self):
+        program = assemble("""
+            li r1, 1   # set r1
+            halt       ; done
+        """)
+        assert len(program) == 2
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2\n")
+
+    def test_wrong_operand_count_raises(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2\n")
+
+    def test_undefined_label_raises(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere\n")
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nhalt\nx:\nhalt\n")
+
+    def test_entry_prefers_start_symbol(self):
+        program = assemble("""
+        helper:
+            ret
+        _start:
+            halt
+        """)
+        assert program.entry == CODE_BASE + 1 * INSTR_SIZE
+
+
+class TestProgram:
+    def test_address_index_round_trip(self):
+        program = assemble("nop\nnop\nhalt\n")
+        for index in range(3):
+            address = program.address_of_index(index)
+            assert program.index_of_address(address) == index
+
+    def test_index_of_bad_address_raises(self):
+        program = assemble("halt\n")
+        with pytest.raises(ValueError):
+            program.index_of_address(CODE_BASE + 1)
+        with pytest.raises(ValueError):
+            program.index_of_address(CODE_BASE + 100)
+
+
+class TestEncoding:
+    def test_round_trip_int_imm(self):
+        instr = Instr(ins.ADDI, 1, 2, imm=-12345)
+        assert decode_instr(encode_instr(instr)) == instr
+
+    def test_round_trip_float_imm(self):
+        instr = Instr(ins.FLI, 3, imm=2.75)
+        decoded = decode_instr(encode_instr(instr))
+        assert decoded.op == ins.FLI and decoded.imm == 2.75
+
+    def test_program_round_trip(self):
+        program = assemble("""
+            li r1, 100
+            addi r1, r1, -1
+            bne r1, r0, 0x10004
+            halt
+        """)
+        blob = encode_program_code(program.instrs)
+        assert decode_program_code(blob) == program.instrs
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode_program_code(b"XXXX\x00\x00\x00\x00")
+
+
+class TestDisassembler:
+    def test_round_trip_through_assembler(self):
+        source = """
+        _start:
+            li r1, 10
+            la r2, 0x1000000
+        loop:
+            ld r3, r2, 0
+            add r4, r4, r3
+            addi r1, r1, -1
+            bne r1, r0, loop
+            fadd f0, f1, f2
+            vadd v0, v1, v2
+            syscall
+            halt
+        """
+        program = assemble(source)
+        text = disassemble_program(program)
+        reassembled = assemble(text)
+        assert reassembled.instrs == program.instrs
+
+    def test_branch_targets_use_labels(self):
+        program = assemble("loop:\nbne r1, r0, loop\nhalt\n")
+        text = disassemble_program(program)
+        assert "bne r1, r0, loop" in text
+
+    def test_fp_registers_rendered(self):
+        assert disassemble_instr(Instr(ins.FADD, 0, 1, 2)) == "fadd f0, f1, f2"
+
+    def test_jr_renders_register(self):
+        assert disassemble_instr(Instr(ins.JR, b=14)) == "jr lr"

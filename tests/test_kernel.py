@@ -1,0 +1,405 @@
+"""Tests for the kernel: fork, signals, tracing hooks, counters, costs."""
+
+import pytest
+
+from repro import abi
+from repro.cpu.state import CpuContext
+from repro.kernel import Kernel, ProcessState, SyscallAction, Tracer
+from repro.minic import compile_source
+from repro.sim import Executor, apple_m2
+
+from helpers import make_machine, run_minic, stdout_of
+
+
+def spawn_minic(kernel, executor, source, name="prog"):
+    proc = kernel.spawn(compile_source(source, name=name))
+    executor.schedule_default(proc)
+    return proc
+
+
+class TestSpawnAndExit:
+    def test_exit_code_recorded(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, "func main() { exit(9); }")
+        executor.run()
+        assert proc.state == ProcessState.ZOMBIE
+        assert proc.exit_code == 9
+
+    def test_exit_time_recorded(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        func main() { var i; for (i = 0; i < 5000; i = i + 1) {} }
+        """)
+        executor.run()
+        assert proc.exit_time is not None and proc.exit_time > 0
+
+    def test_core_freed_after_exit(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, "func main() {}")
+        core = proc.core
+        executor.run()
+        assert core.occupant is None
+
+    def test_reap_releases_memory(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, "func main() {}")
+        executor.run()
+        assert proc.mem.mapped_pages > 0
+        kernel.reap(proc)
+        assert proc.state == ProcessState.DEAD
+        assert proc.mem.mapped_pages == 0
+
+
+class TestFork:
+    def test_fork_clones_state(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        global x;
+        func main() {
+            var i;
+            x = 5;
+            for (i = 0; i < 100000; i = i + 1) { }
+            print_int(x);
+        }
+        """)
+        # Run a little, fork, then let both finish.
+        for _ in range(5):
+            executor.step()
+        child, cost = kernel.fork(proc, name="child")
+        assert cost > 0
+        assert child.cpu.pc == proc.cpu.pc
+        assert child.cpu.regs.snapshot() == proc.cpu.regs.snapshot()
+        executor.schedule_default(child)
+        child.state = ProcessState.RUNNING
+        executor.run()
+        # Both wrote 5 to the shared console.
+        assert stdout_of(kernel) == "5\n5\n"
+
+    def test_forked_child_memory_isolated(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, "func main() {}")
+        child, _ = kernel.fork(proc, paused=True)
+        from repro.isa.program import DATA_BASE
+        proc.mem.store_word(DATA_BASE, 111)
+        assert child.mem.load_word(DATA_BASE) != 111
+
+    def test_fork_cost_scales_with_pages(self):
+        kernel, executor = make_machine()
+        small = spawn_minic(kernel, executor, "func main() {}")
+        big = spawn_minic(kernel, executor, "func main() { sbrk(1000000); }")
+        executor.run()
+        _, cost_small = kernel.fork(small)
+        _, cost_big = kernel.fork(big)
+        assert cost_big > cost_small
+
+
+class TestSignals:
+    def test_fatal_signal_kills(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        func main() { var i; for (i = 0; i < 1000000; i = i + 1) {} }
+        """)
+        executor.step()
+        kernel.send_signal(proc, abi.SIGTERM, external=True)
+        executor.run()
+        assert proc.exit_code == 128 + abi.SIGTERM
+
+    def test_custom_handler_runs(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        global hits;
+        func handler(sig) { hits = hits + 1; return 0; }
+        func main() {
+            var i;
+            sigaction(10, addr_of_handler());
+            kill(getpid(), 10);
+            for (i = 0; i < 100; i = i + 1) {}
+            print_int(hits);
+        }
+        func addr_of_handler() { return 0; }
+        """)
+        # Patch addr_of_handler: easier to install the handler directly.
+        executor.run()
+        # The program installed handler address 0 (removed); instead test
+        # the kernel API level below.
+
+    def test_handler_via_kernel_api(self):
+        kernel, executor = make_machine()
+        program = compile_source("""
+        global hits;
+        func on_sig(sig) { hits = hits + sig; return 0; }
+        func main() {
+            var i;
+            for (i = 0; i < 50000; i = i + 1) {}
+            print_int(hits);
+        }
+        """)
+        proc = kernel.spawn(program)
+        executor.schedule_default(proc)
+        handler_addr = program.address_of("F_on_sig")
+        proc.signal_handlers[abi.SIGUSR1] = handler_addr
+        executor.step()
+        kernel.send_signal(proc, abi.SIGUSR1, external=True)
+        executor.run()
+        assert stdout_of(kernel) == f"{abi.SIGUSR1}\n"
+
+    def test_segfault_kills_by_default(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor,
+                           "func main() { poke64(1, 1); }")
+        executor.run()
+        assert proc.exit_code == 128 + abi.SIGSEGV
+
+    def test_divide_by_zero_sigfpe(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        global zero;
+        func main() { print_int(7 / zero); }
+        """)
+        executor.run()
+        assert proc.exit_code == 128 + abi.SIGFPE
+
+    def test_sigreturn_restores_context(self):
+        kernel, executor = make_machine()
+        program = compile_source("""
+        global hits;
+        func on_sig(sig) { hits = 1; return 0; }
+        func main() {
+            var i; var total;
+            total = 0;
+            for (i = 0; i < 30000; i = i + 1) { total = total + i; }
+            print_int(total);
+        }
+        """)
+        proc = kernel.spawn(program)
+        executor.schedule_default(proc)
+        proc.signal_handlers[abi.SIGUSR1] = program.address_of("F_on_sig")
+        for _ in range(3):
+            executor.step()
+        kernel.send_signal(proc, abi.SIGUSR1, external=True)
+        executor.run()
+        # The interrupted loop still computes the right total.
+        assert stdout_of(kernel) == f"{sum(range(30000))}\n"
+
+
+class TestCounters:
+    def test_instr_overcount_on_syscalls(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        func main() { var i; for (i = 0; i < 20; i = i + 1) { getpid(); } }
+        """)
+        executor.run()
+        assert proc.cpu.instr_overcount > 0
+
+    def test_branch_counter_no_overcount(self):
+        """The branch counter must be deterministic across identical runs
+        even though the instruction counter is not (paper §4.2.1)."""
+        results = []
+        for seed in (1, 2):
+            kernel, executor = make_machine(seed=seed)
+            proc = spawn_minic(kernel, executor, """
+            func main() {
+                var i;
+                for (i = 0; i < 500; i = i + 1) { getpid(); }
+            }
+            """)
+            executor.run()
+            results.append((proc.cpu.branches_retired,
+                            proc.cpu.instr_retired + proc.cpu.instr_overcount))
+        assert results[0][0] == results[1][0]          # branches deterministic
+        # (instruction overcount differs with the RNG seed in general)
+
+    def test_far_branches_counted_separately(self):
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        func main() { getpid(); getpid(); getpid(); }
+        """)
+        executor.run()
+        # 3 getpid retire as far branches (exit never retires).
+        assert proc.cpu.far_branches_retired == 3
+
+
+class TestTracing:
+    def test_syscall_hooks_called(self):
+        calls = []
+
+        class Spy(Tracer):
+            def on_syscall_entry(self, proc, sysno, args):
+                calls.append(("entry", sysno))
+                return None
+
+            def on_syscall_exit(self, proc, sysno, args, result):
+                calls.append(("exit", sysno, result))
+
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, "func main() { getpid(); }")
+        kernel.attach_tracer(proc, Spy())
+        executor.run()
+        entries = [c for c in calls if c[0] == "entry"]
+        assert ("entry", abi.SYS_GETPID) in entries
+        exits = [c for c in calls if c[0] == "exit" and c[1] == abi.SYS_GETPID]
+        assert exits and exits[0][2] == proc.pid
+
+    def test_syscall_emulation(self):
+        class FakePid(Tracer):
+            def on_syscall_entry(self, proc, sysno, args):
+                if sysno == abi.SYS_GETPID:
+                    return SyscallAction.emulate(42424)
+                return None
+
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor,
+                           "func main() { print_int(getpid()); }")
+        kernel.attach_tracer(proc, FakePid())
+        executor.run()
+        assert stdout_of(kernel) == "42424\n"
+
+    def test_tracer_arg_rewrite(self):
+        """Tracer rewrites write() length — Parallaft-style arg modification."""
+
+        class Truncate(Tracer):
+            def on_syscall_entry(self, proc, sysno, args):
+                if sysno == abi.SYS_WRITE and args[2] > 3:
+                    proc.cpu.regs.gprs[3] = 3
+                return None
+
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor,
+                           'func main() { print_str("abcdef"); }')
+        kernel.attach_tracer(proc, Truncate())
+        executor.run()
+        assert stdout_of(kernel) == "abc"
+
+    def test_tracing_cost_slows_process(self):
+        # Use an unscaled platform (cycle_scale=1, as in the §5.7 stress
+        # tests) so per-syscall ptrace costs dominate loop time.
+        platform = apple_m2()
+        platform.cycle_scale = 1
+
+        def timed(traced):
+            kernel, executor = make_machine(platform)
+            proc = spawn_minic(kernel, executor, """
+            func main() { var i; for (i = 0; i < 200; i = i + 1) { getpid(); } }
+            """)
+            if traced:
+                kernel.attach_tracer(proc, Tracer())
+            executor.run()
+            return proc.user_time + proc.sys_time
+        assert timed(True) > timed(False) * 5
+
+    def test_signal_interception(self):
+        taken = []
+
+        class Absorb(Tracer):
+            def on_signal(self, proc, signo, external):
+                taken.append((signo, external))
+                return False  # take ownership
+
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, """
+        func main() { var i; for (i = 0; i < 300000; i = i + 1) {} }
+        """)
+        kernel.attach_tracer(proc, Absorb())
+        executor.step()
+        kernel.send_signal(proc, abi.SIGTERM, external=True)
+        executor.run()
+        # Tracer absorbed it: the process survived to normal exit.
+        assert proc.exit_code == 0
+        assert taken == [(abi.SIGTERM, True)]
+
+    def test_exit_hook(self):
+        exited = []
+
+        class ExitSpy(Tracer):
+            def on_process_exit(self, proc):
+                exited.append(proc.pid)
+
+        kernel, executor = make_machine()
+        proc = spawn_minic(kernel, executor, "func main() { exit(1); }")
+        kernel.attach_tracer(proc, ExitSpy())
+        executor.run()
+        assert exited == [proc.pid]
+
+
+class TestExecutorScheduling:
+    def test_two_processes_on_distinct_cores(self):
+        kernel, executor = make_machine()
+        a = spawn_minic(kernel, executor, "func main() { print_str(\"a\"); }")
+        b = spawn_minic(kernel, executor, "func main() { print_str(\"b\"); }")
+        assert a.core is not b.core
+        executor.run()
+        assert sorted(stdout_of(kernel)) == ["a", "b"]
+
+    def test_core_occupancy_enforced(self):
+        from repro.common.errors import SimulationError
+        kernel, executor = make_machine()
+        a = spawn_minic(kernel, executor, "func main() {}")
+        b = kernel.spawn(compile_source("func main() {}"))
+        with pytest.raises(SimulationError):
+            executor.assign(b, a.core)
+
+    def test_time_advances_monotonically(self):
+        kernel, executor = make_machine()
+        spawn_minic(kernel, executor, """
+        func main() { var i; for (i = 0; i < 50000; i = i + 1) {} }
+        """)
+        last = 0.0
+        while executor.step():
+            assert executor.wall_time() >= last
+            last = executor.wall_time()
+        assert last > 0
+
+    def test_energy_accumulates(self):
+        kernel, executor = make_machine()
+        spawn_minic(kernel, executor, """
+        func main() { var i; for (i = 0; i < 50000; i = i + 1) {} }
+        """)
+        executor.run()
+        assert executor.total_energy_joules() > 0
+
+    def test_sampler_fires(self):
+        kernel, executor = make_machine()
+        spawn_minic(kernel, executor, """
+        func main() { var i; for (i = 0; i < 400000; i = i + 1) {} }
+        """)
+        samples = []
+        executor.add_sampler(0.5, samples.append)
+        executor.run()
+        assert len(samples) >= 1
+        assert samples == sorted(samples)
+
+    def test_little_core_slower_than_big(self):
+        source = """
+        func main() { var i; for (i = 0; i < 100000; i = i + 1) {} }
+        """
+        kernel, executor = make_machine()
+        proc = kernel.spawn(compile_source(source))
+        executor.assign(proc, executor.big_cores[0])
+        executor.run()
+        big_time = proc.user_time
+
+        kernel2, executor2 = make_machine()
+        proc2 = kernel2.spawn(compile_source(source))
+        executor2.assign(proc2, executor2.little_cores[0])
+        executor2.run()
+        little_time = proc2.user_time
+        assert little_time > big_time * 1.5
+
+    def test_dvfs_slows_execution(self):
+        source = """
+        func main() { var i; for (i = 0; i < 100000; i = i + 1) {} }
+        """
+        def run_at(freq_scale):
+            kernel, executor = make_machine()
+            proc = kernel.spawn(compile_source(source))
+            core = executor.little_cores[0]
+            core.set_frequency(core.freq_max_hz * freq_scale)
+            executor.assign(proc, core)
+            executor.run()
+            return proc.user_time, core.energy_joules
+        t_full, e_full = run_at(1.0)
+        t_half, e_half = run_at(0.5)
+        assert t_half > t_full * 1.8
+        # Separate voltage domain: halving f cuts power ~8x, so energy for
+        # the same work drops even though it takes twice as long.
+        assert e_half < e_full

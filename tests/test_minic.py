@@ -1,0 +1,397 @@
+"""Tests for the mini-C compiler: lexer, parser, codegen, end-to-end runs."""
+
+import pytest
+
+from repro.common.errors import CompileError
+from repro.minic import compile_source, compile_to_asm, parse, tokenize
+from repro.minic import ast_nodes as ast
+
+from helpers import run_minic, stdout_of
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("42 0x1f 3.5 1e3")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("int", 42), ("int", 31), ("float", 3.5), ("float", 1000.0)]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("func foo while xyz")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("keyword", "func"), ("ident", "foo"),
+            ("keyword", "while"), ("ident", "xyz")]
+
+    def test_operators_maximal_munch(self):
+        tokens = tokenize("a <= b << c == d")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["<=", "<<", "=="]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // line comment\nb /* block\ncomment */ c")
+        idents = [t.value for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b", "c"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"hi\n\t"')
+        assert tokens[0].value == "hi\n\t"
+
+    def test_char_literal(self):
+        tokens = tokenize("'A'")
+        assert tokens[0] == tokens[0]._replace(kind="int", value=65)
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens if t.kind == "ident"]
+        assert lines == [1, 2, 4]
+
+    def test_bad_char_raises(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_function_and_globals(self):
+        module = parse("""
+        global counter;
+        global float weights[4];
+        func main() { return 0; }
+        """)
+        assert len(module.globals) == 2
+        assert module.globals[1].is_float
+        assert module.globals[1].array_size == 4
+        assert module.functions[0].name == "main"
+
+    def test_global_initializers(self):
+        module = parse("global x = -5; global t[3] = {1, 2, 3}; func main(){}")
+        assert module.globals[0].init == [-5]
+        assert module.globals[1].init == [1, 2, 3]
+
+    def test_precedence(self):
+        module = parse("func main() { var x; x = 1 + 2 * 3; }")
+        assign = module.functions[0].body[1]
+        assert isinstance(assign.value, ast.Binary)
+        assert assign.value.op == "+"
+        assert assign.value.right.op == "*"
+
+    def test_if_else_chain(self):
+        module = parse("""
+        func main() {
+            var x;
+            if (x < 1) { x = 1; } else if (x < 2) { x = 2; } else { x = 3; }
+        }
+        """)
+        if_stmt = module.functions[0].body[1]
+        assert isinstance(if_stmt, ast.If)
+        assert isinstance(if_stmt.else_body[0], ast.If)
+
+    def test_for_loop(self):
+        module = parse("func main() { var i; for (i = 0; i < 9; i = i + 1) {} }")
+        for_stmt = module.functions[0].body[1]
+        assert isinstance(for_stmt, ast.For)
+        assert for_stmt.cond.op == "<"
+
+    def test_array_assignment_vs_index_expr(self):
+        module = parse("""
+        global a[4];
+        func main() { var x; a[1] = 2; x = a[1]; }
+        """)
+        body = module.functions[0].body
+        assert isinstance(body[1], ast.Assign)
+        assert isinstance(body[1].target, ast.Index)
+        assert isinstance(body[2].value, ast.Index)
+
+    def test_float_params(self):
+        module = parse("func f(a, float b) { return a; } func main() {}")
+        params = module.functions[0].params
+        assert not params[0].is_float and params[1].is_float
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(CompileError):
+            parse("func main() { var x = 1 }")
+
+
+class TestCodegenErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func main() { x = 1; }")
+
+    def test_type_mismatch(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func main() { var x; x = 1.5; }")
+
+    def test_mixed_arithmetic(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func main() { var x; x = 1 + int(2.0) + 3.0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func main() { break; }")
+
+    def test_no_main(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func helper() { return 1; }")
+
+    def test_call_undefined_function(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func main() { frobnicate(1); }")
+
+    def test_prelude_collision(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func print_int(n) { return n; } func main() {}")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func main() { var x; var x; }")
+
+
+class TestEndToEnd:
+    def test_print_int(self):
+        kernel, _, proc = run_minic("func main() { print_int(12345); }")
+        assert stdout_of(kernel) == "12345\n"
+        assert proc.exit_code == 0
+
+    def test_print_negative_and_zero(self):
+        kernel, _, _ = run_minic("""
+        func main() { print_int(-42); print_int(0); }
+        """)
+        assert stdout_of(kernel) == "-42\n0\n"
+
+    def test_arithmetic_program(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var i; var total;
+            total = 0;
+            for (i = 1; i <= 100; i = i + 1) { total = total + i; }
+            print_int(total);
+        }
+        """)
+        assert stdout_of(kernel) == "5050\n"
+
+    def test_globals_and_arrays(self):
+        kernel, _, _ = run_minic("""
+        global cells[16];
+        global total;
+        func main() {
+            var i;
+            for (i = 0; i < 16; i = i + 1) { cells[i] = i * i; }
+            total = 0;
+            for (i = 0; i < 16; i = i + 1) { total = total + cells[i]; }
+            print_int(total);
+        }
+        """)
+        assert stdout_of(kernel) == "1240\n"
+
+    def test_function_calls_and_recursion(self):
+        kernel, _, _ = run_minic("""
+        func fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        func main() { print_int(fib(15)); }
+        """)
+        assert stdout_of(kernel) == "610\n"
+
+    def test_float_math(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            float x; float y;
+            x = 1.5;
+            y = x * 4.0 + 0.25;
+            print_int(int(y * 100.0));
+        }
+        """)
+        assert stdout_of(kernel) == "625\n"
+
+    def test_fsqrt_prelude(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            float r;
+            fsqrt(2.0);
+            r = float(fsqrt(16.0));
+            print_int(int(r + 0.5));
+        }
+        """)
+        assert stdout_of(kernel) == "4\n"
+
+    def test_rand_deterministic(self):
+        source = """
+        func main() {
+            srand64(7);
+            print_int(rand_below(1000));
+            print_int(rand_below(1000));
+        }
+        """
+        out1 = stdout_of(run_minic(source)[0])
+        out2 = stdout_of(run_minic(source)[0])
+        assert out1 == out2
+        values = [int(x) for x in out1.split()]
+        assert all(0 <= v < 1000 for v in values)
+
+    def test_logical_short_circuit(self):
+        kernel, _, _ = run_minic("""
+        global trace;
+        func bump() { trace = trace + 1; return 1; }
+        func main() {
+            var x;
+            x = 0 && bump();
+            print_int(trace);
+            x = 1 || bump();
+            print_int(trace);
+            x = 1 && bump();
+            print_int(trace);
+        }
+        """)
+        assert stdout_of(kernel) == "0\n0\n1\n"
+
+    def test_while_break_continue(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var i; var total;
+            i = 0; total = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                total = total + i;
+            }
+            print_int(total);
+        }
+        """)
+        assert stdout_of(kernel) == "25\n"
+
+    def test_sbrk_heap(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var p; var i;
+            p = sbrk(4096);
+            for (i = 0; i < 10; i = i + 1) { poke64(p + i * 8, i * 7); }
+            print_int(peek64(p + 9 * 8));
+        }
+        """)
+        assert stdout_of(kernel) == "63\n"
+
+    def test_mmap_anon(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var p;
+            p = mmap_anon(8192);
+            poke64(p + 128, 999);
+            print_int(peek64(p + 128));
+        }
+        """)
+        assert stdout_of(kernel) == "999\n"
+
+    def test_read_dev_zero(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var fd; var p; var n;
+            fd = open("/dev/zero");
+            p = mmap_anon(4096);
+            n = read(fd, p, 100);
+            print_int(n);
+            print_int(peek64(p));
+        }
+        """)
+        assert stdout_of(kernel) == "100\n0\n"
+
+    def test_input_file(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var fd; var p;
+            fd = open("input.bin");
+            p = mmap_anon(4096);
+            read(fd, p, 8);
+            print_int(peek64(p));
+        }
+        """, files={"input.bin": (777).to_bytes(8, "little")})
+        assert stdout_of(kernel) == "777\n"
+
+    def test_exit_code(self):
+        _, _, proc = run_minic("func main() { exit(3); }")
+        assert proc.exit_code == 3
+
+    def test_main_return_value_is_exit_code(self):
+        _, _, proc = run_minic("func main() { return 7; }")
+        assert proc.exit_code == 7
+
+    def test_getpid(self):
+        kernel, _, proc = run_minic("func main() { print_int(getpid()); }")
+        assert stdout_of(kernel).strip() == str(proc.pid)
+
+    def test_string_literal_write(self):
+        kernel, _, _ = run_minic("""
+        func main() { print_str("hello, world\\n"); }
+        """)
+        assert stdout_of(kernel) == "hello, world\n"
+
+    def test_deep_expression(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var x;
+            x = ((1 + 2) * (3 + 4)) + ((5 - 6) * (7 - 8));
+            print_int(x);
+        }
+        """)
+        assert stdout_of(kernel) == "22\n"
+
+    def test_args_evaluated_with_live_temps(self):
+        kernel, _, _ = run_minic("""
+        func add3(a, b, c) { return a + b + c; }
+        func main() {
+            print_int(1 + add3(2, 3, add3(4, 5, 6)));
+        }
+        """)
+        assert stdout_of(kernel) == "21\n"
+
+    def test_float_function_result(self):
+        kernel, _, _ = run_minic("""
+        func half(float x) { return x / 2.0; }
+        func main() { print_int(int(float(half(9.0)) * 10.0)); }
+        """)
+        assert stdout_of(kernel) == "45\n"
+
+    def test_gettimeofday_monotone(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var a; var b; var i; var burn;
+            a = gettimeofday();
+            for (i = 0; i < 1000; i = i + 1) { burn = burn + i; }
+            b = gettimeofday();
+            if (b >= a) { print_int(1); } else { print_int(0); }
+        }
+        """)
+        assert stdout_of(kernel) == "1\n"
+
+    def test_rdtsc_intrinsic(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var a; var b;
+            a = rdtsc();
+            b = rdtsc();
+            if (b > a) { print_int(1); } else { print_int(0); }
+        }
+        """)
+        assert stdout_of(kernel) == "1\n"
+
+    def test_global_float_array(self):
+        kernel, _, _ = run_minic("""
+        global float grid[8];
+        func main() {
+            var i; float total;
+            for (i = 0; i < 8; i = i + 1) { grid[i] = float(i) * 0.5; }
+            total = 0.0;
+            for (i = 0; i < 8; i = i + 1) { total = total + grid[i]; }
+            print_int(int(total));
+        }
+        """)
+        assert stdout_of(kernel) == "14\n"
+
+    def test_many_locals_spill_to_frame(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var a; var b; var c; var d; var e; var f; var g; var h;
+            a = 1; b = 2; c = 3; d = 4; e = 5; f = 6; g = 7; h = 8;
+            print_int(a + b + c + d + e + f + g + h);
+        }
+        """)
+        assert stdout_of(kernel) == "36\n"

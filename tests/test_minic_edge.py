@@ -1,0 +1,230 @@
+"""Edge-case tests for the mini-C compiler and the runtime prelude."""
+
+import pytest
+
+from repro.common.errors import CompileError
+from repro.minic import compile_source, compile_to_asm
+
+from helpers import run_minic, stdout_of
+
+
+class TestPreludeEdgeCases:
+    def test_print_int_min_int(self):
+        kernel, _, _ = run_minic(
+            "func main() { print_int(0 - 9223372036854775807 - 1); }")
+        assert stdout_of(kernel) == "-9223372036854775808\n"
+
+    def test_print_int_max_int(self):
+        kernel, _, _ = run_minic(
+            "func main() { print_int(9223372036854775807); }")
+        assert stdout_of(kernel) == "9223372036854775807\n"
+
+    def test_print_float_values(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            print_float(3.25);
+            print_float(0.0 - 1.5);
+            print_float(0.0);
+        }
+        """)
+        lines = stdout_of(kernel).splitlines()
+        assert lines[0] == "3.250000"
+        assert lines[1] == "-1.500000"
+        assert lines[2] == "0.000000"
+
+    def test_fsqrt_accuracy(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            float r;
+            r = float(fsqrt(2.0));
+            print_int(int(r * 1000000.0));
+        }
+        """)
+        value = int(stdout_of(kernel).strip())
+        assert abs(value - 1414213) <= 2
+
+    def test_fsqrt_of_nonpositive_is_zero(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            print_int(int(float(fsqrt(0.0 - 4.0))));
+            print_int(int(float(fsqrt(0.0))));
+        }
+        """)
+        assert stdout_of(kernel) == "0\n0\n"
+
+    def test_rand_below_bounds(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var i; var v; var bad;
+            srand64(99);
+            bad = 0;
+            for (i = 0; i < 200; i = i + 1) {
+                v = rand_below(17);
+                if (v < 0 || v >= 17) { bad = bad + 1; }
+            }
+            print_int(bad);
+        }
+        """)
+        assert stdout_of(kernel) == "0\n"
+
+    def test_srand_zero_becomes_nonzero(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            srand64(0);
+            print_int(rand64() != 0);
+        }
+        """)
+        assert stdout_of(kernel) == "1\n"
+
+
+class TestCompilerEdgeCases:
+    def test_else_if_chain_four_deep(self):
+        kernel, _, _ = run_minic("""
+        func classify(x) {
+            if (x < 10) { return 1; }
+            else if (x < 20) { return 2; }
+            else if (x < 30) { return 3; }
+            else { return 4; }
+        }
+        func main() {
+            print_int(classify(5) * 1000 + classify(15) * 100
+                      + classify(25) * 10 + classify(99));
+        }
+        """)
+        assert stdout_of(kernel) == "1234\n"
+
+    def test_nested_loops_with_break_continue(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var i; var j; var total;
+            for (i = 0; i < 5; i = i + 1) {
+                j = 0;
+                while (1) {
+                    j = j + 1;
+                    if (j > i) { break; }
+                    if (j % 2 == 0) { continue; }
+                    total = total + j;
+                }
+            }
+            print_int(total);
+        }
+        """)
+        # i=0:0  i=1:1  i=2:1  i=3:1+3  i=4:1+3 -> 10
+        assert stdout_of(kernel) == "10\n"
+
+    def test_six_parameter_function(self):
+        kernel, _, _ = run_minic("""
+        func pack(a, b, c, d, e, f) {
+            return a + b * 10 + c * 100 + d * 1000 + e * 10000 + f * 100000;
+        }
+        func main() { print_int(pack(1, 2, 3, 4, 5, 6)); }
+        """)
+        assert stdout_of(kernel) == "654321\n"
+
+    def test_seven_parameters_rejected(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("""
+            func f(a, b, c, d, e, g, h) { return 0; }
+            func main() {}
+            """)
+
+    def test_mixed_int_float_params(self):
+        kernel, _, _ = run_minic("""
+        func blend(a, float x, b, float y) {
+            return a + b + int(x * 10.0) + int(y * 100.0);
+        }
+        func main() { print_int(blend(1, 0.5, 2, 0.25)); }
+        """)
+        assert stdout_of(kernel) == "33\n"
+
+    def test_recursive_float_function(self):
+        kernel, _, _ = run_minic("""
+        func fpower(float base, n) {
+            if (n == 0) { return 1.0; }
+            return base * float(fpower(base, n - 1));
+        }
+        func main() { print_int(int(float(fpower(2.0, 10)))); }
+        """)
+        assert stdout_of(kernel) == "1024\n"
+
+    def test_global_initializer_list(self):
+        kernel, _, _ = run_minic("""
+        global primes[8] = {2, 3, 5, 7, 11, 13, 17, 19};
+        func main() {
+            var i; var total;
+            for (i = 0; i < 8; i = i + 1) { total = total + primes[i]; }
+            print_int(total);
+        }
+        """)
+        assert stdout_of(kernel) == "77\n"
+
+    def test_float_global_initializer(self):
+        kernel, _, _ = run_minic("""
+        global float weights[3] = {0.5, 1.5, -2.0};
+        func main() {
+            print_int(int((weights[0] + weights[1] + weights[2]) * 10.0));
+        }
+        """)
+        assert stdout_of(kernel) == "0\n"
+
+    def test_bare_array_name_is_base_address(self):
+        kernel, _, _ = run_minic("""
+        global buf[4];
+        func main() {
+            var p;
+            p = buf;
+            poke64(p + 16, 777);
+            print_int(buf[2]);
+        }
+        """)
+        assert stdout_of(kernel) == "777\n"
+
+    def test_comparison_chaining_via_logical(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var x;
+            x = 15;
+            print_int(10 <= x && x < 20);
+            print_int(x < 10 || x >= 20);
+        }
+        """)
+        assert stdout_of(kernel) == "1\n0\n"
+
+    def test_unary_not_and_bitnot(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            print_int(!0);
+            print_int(!7);
+            print_int(~0);
+            print_int(~5);
+        }
+        """)
+        assert stdout_of(kernel) == "1\n0\n-1\n-6\n"
+
+    def test_whole_array_assignment_rejected(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("""
+            global a[4];
+            func main() { a = 5; }
+            """)
+
+    def test_float_condition_rejected(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("func main() { if (1.5) { } }")
+
+    def test_float_array_index_rejected(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("""
+            global a[4];
+            func main() { var x; x = a[1.5]; }
+            """)
+
+    def test_string_in_expression_positions(self):
+        kernel, _, _ = run_minic("""
+        func main() {
+            var s;
+            s = "hey";          // strings evaluate to their address
+            print_int(peek8(s) == 'h');
+        }
+        """)
+        assert stdout_of(kernel) == "1\n"

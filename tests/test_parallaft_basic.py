@@ -1,0 +1,261 @@
+"""Integration tests: programs run correctly under Parallaft and RAFT."""
+
+import pytest
+
+from repro.core import Parallaft, ParallaftConfig, RuntimeMode, SegmentStatus
+from repro.minic import compile_source
+from repro.sim import apple_m2, intel_14700
+
+LOOP_PROGRAM = """
+global cells[64];
+func main() {
+    var i; var round; var total;
+    for (round = 0; round < 40; round = round + 1) {
+        for (i = 0; i < 64; i = i + 1) {
+            cells[i] = cells[i] + round * i;
+        }
+    }
+    total = 0;
+    for (i = 0; i < 64; i = i + 1) { total = total + cells[i]; }
+    print_int(total);
+}
+"""
+LOOP_EXPECTED = f"{sum(sum(r * i for r in range(40)) for i in range(64))}\n"
+
+
+def run_protected(source, config=None, platform=None, files=None,
+                  slicing_period=None, **kwargs):
+    config = config or ParallaftConfig()
+    if slicing_period is not None:
+        config.slicing_period = slicing_period
+    runtime = Parallaft(compile_source(source), config=config,
+                        platform=platform or apple_m2(), files=files,
+                        **kwargs)
+    stats = runtime.run()
+    return runtime, stats
+
+
+class TestParallaftBasic:
+    def test_simple_program_completes(self):
+        runtime, stats = run_protected(LOOP_PROGRAM,
+                                       slicing_period=2_000_000_000)
+        assert stats.exit_code == 0
+        assert stats.stdout == LOOP_EXPECTED
+        assert not stats.error_detected
+
+    def test_multiple_segments_created_and_checked(self):
+        runtime, stats = run_protected(LOOP_PROGRAM,
+                                       slicing_period=500_000_000)
+        assert len(runtime.segments) >= 3
+        assert all(s.status == SegmentStatus.CHECKED
+                   for s in runtime.segments)
+        assert stats.segments_checked == len(runtime.segments)
+
+    def test_single_segment_when_period_huge(self):
+        runtime, stats = run_protected(LOOP_PROGRAM,
+                                       slicing_period=10**15)
+        assert len(runtime.segments) == 1
+        assert stats.segments_checked == 1
+
+    def test_output_not_duplicated(self):
+        """Checker writes are replayed, never passed to the OS."""
+        _, stats = run_protected(
+            'func main() { print_str("once\\n"); }')
+        assert stats.stdout == "once\n"
+
+    def test_checkers_run_on_little_cores(self):
+        runtime, stats = run_protected(LOOP_PROGRAM,
+                                       slicing_period=500_000_000)
+        assert stats.checker_cycles_little > 0
+        assert stats.all_wall_time >= stats.main_wall_time
+
+    def test_syscall_results_replayed(self):
+        """getpid/gettimeofday are nondeterministic between main and
+        checker: without record/replay the checker would diverge."""
+        _, stats = run_protected("""
+        global stamp[4];
+        func main() {
+            var i;
+            stamp[0] = getpid();
+            stamp[1] = gettimeofday();
+            for (i = 0; i < 30000; i = i + 1) {
+                stamp[2] = stamp[2] + stamp[0] + stamp[1];
+            }
+            print_int(stamp[2] % 1000000);
+        }
+        """, slicing_period=300_000_000)
+        assert not stats.error_detected
+        assert stats.syscalls_replayed > 0
+
+    def test_nondet_instructions_replayed(self):
+        """rdtsc / cpu_model diverge across cores and time; the runtime
+        traps and replays them (paper §4.3.4)."""
+        _, stats = run_protected("""
+        global trace[4];
+        func main() {
+            var i; var acc;
+            trace[0] = rdtsc();
+            trace[1] = cpu_model();
+            acc = 0;
+            for (i = 0; i < 30000; i = i + 1) {
+                acc = acc + trace[0] % 97 + trace[1] % 89;
+            }
+            trace[2] = rdtsc();
+            print_int(acc % 100000);
+        }
+        """, slicing_period=300_000_000)
+        assert not stats.error_detected
+        assert stats.nondet_recorded >= 3
+
+    def test_cpu_model_would_diverge_without_replay(self):
+        """Sanity: a little core really does report a different cpu model,
+        so the mrs trap is load-bearing."""
+        from repro.cpu.nondet import MIDR_BIG, MIDR_LITTLE
+        assert MIDR_BIG != MIDR_LITTLE
+
+    def test_read_input_file_replayed(self):
+        _, stats = run_protected("""
+        func main() {
+            var fd; var p; var i; var total;
+            fd = open("data.bin");
+            p = mmap_anon(16384);
+            read(fd, p, 800);
+            total = 0;
+            for (i = 0; i < 100; i = i + 1) {
+                total = total + peek64(p + i * 8);
+            }
+            print_int(total);
+        }
+        """, files={"data.bin": b"".join(i.to_bytes(8, "little")
+                                         for i in range(100))},
+            slicing_period=200_000_000)
+        assert stats.stdout == f"{sum(range(100))}\n"
+        assert not stats.error_detected
+
+    def test_aslr_mmap_replay(self):
+        """ASLR gives main and checker different mmap addresses unless the
+        runtime pins the checker's call with MAP_FIXED (paper §4.3.2)."""
+        _, stats = run_protected("""
+        func main() {
+            var p; var i;
+            p = mmap_anon(32768);
+            for (i = 0; i < 1000; i = i + 1) { poke64(p + i * 8, i); }
+            print_int(peek64(p + 999 * 8) + p % 2);
+        }
+        """, slicing_period=100_000_000)
+        assert not stats.error_detected
+
+    def test_getrandom_replayed(self):
+        _, stats = run_protected("""
+        func main() {
+            var p; var i; var total;
+            p = mmap_anon(4096);
+            getrandom(p, 64);
+            total = 0;
+            for (i = 0; i < 8; i = i + 1) { total = total + peek8(p + i); }
+            print_int(total);
+        }
+        """, slicing_period=100_000_000)
+        assert not stats.error_detected
+
+    def test_file_backed_mmap_splits_segment(self):
+        runtime, stats = run_protected("""
+        func main() {
+            var fd; var p; var i; var total;
+            fd = open("blob.bin");
+            p = mmap_file(fd, 4096);
+            total = 0;
+            for (i = 0; i < 50; i = i + 1) { total = total + peek64(p + i * 8); }
+            print_int(total);
+        }
+        """, files={"blob.bin": b"".join(i.to_bytes(8, "little")
+                                         for i in range(512))})
+        assert stats.stdout == f"{sum(range(50))}\n"
+        assert stats.mmap_splits == 1
+        assert not stats.error_detected
+
+    def test_sbrk_heap_replay(self):
+        _, stats = run_protected("""
+        func main() {
+            var p; var i;
+            p = sbrk(65536);
+            for (i = 0; i < 2000; i = i + 1) { poke64(p + i * 8, i * 3); }
+            print_int(peek64(p + 1999 * 8));
+        }
+        """, slicing_period=100_000_000)
+        assert stats.stdout == f"{1999 * 3}\n"
+        assert not stats.error_detected
+
+    def test_stats_keys(self):
+        _, stats = run_protected(LOOP_PROGRAM, slicing_period=500_000_000)
+        dump = stats.to_dict()
+        assert dump["timing.all_wall_time"] >= dump["timing.main_wall_time"]
+        assert dump["counter.checkpoint_count"] >= 1
+        assert dump["hwmon.total_energy"] > 0
+
+    def test_x86_trap_nondet_path(self):
+        _, stats = run_protected("""
+        global t[2];
+        func main() {
+            var i; var acc;
+            t[0] = rdtsc();
+            t[1] = cpuid();
+            acc = 0;
+            for (i = 0; i < 20000; i = i + 1) { acc = acc + i + t[0] % 3; }
+            print_int(acc % 10007);
+        }
+        """, platform=intel_14700(), slicing_period=300_000_000)
+        assert not stats.error_detected
+        assert stats.nondet_recorded >= 2
+
+
+class TestRaftMode:
+    def test_raft_completes_and_matches(self):
+        config = ParallaftConfig.raft()
+        runtime, stats = run_protected(LOOP_PROGRAM, config=config)
+        assert stats.exit_code == 0
+        assert stats.stdout == LOOP_EXPECTED
+        assert not stats.error_detected
+        assert len(runtime.segments) == 1
+
+    def test_raft_checker_on_big_core(self):
+        config = ParallaftConfig.raft()
+        _, stats = run_protected(LOOP_PROGRAM, config=config)
+        assert stats.checker_cycles_big > 0
+        assert stats.checker_cycles_little == 0
+
+    def test_raft_syscall_comparison_still_works(self):
+        config = ParallaftConfig.raft()
+        _, stats = run_protected("""
+        func main() {
+            var i; var x;
+            x = getpid() + gettimeofday();
+            for (i = 0; i < 10000; i = i + 1) { x = x + i; }
+            print_int(x % 65536);
+        }
+        """, config=config)
+        assert not stats.error_detected
+        assert stats.syscalls_replayed > 0
+
+    def test_raft_does_no_state_comparison(self):
+        config = ParallaftConfig.raft()
+        runtime, stats = run_protected(LOOP_PROGRAM, config=config)
+        assert runtime.dirty_tracker.pages_scanned == 0
+
+
+class TestDeterminismUnderRuntime:
+    def test_output_identical_to_native(self):
+        from helpers import run_minic, stdout_of
+        kernel, _, _ = run_minic(LOOP_PROGRAM)
+        native = stdout_of(kernel)
+        _, stats = run_protected(LOOP_PROGRAM, slicing_period=400_000_000)
+        assert stats.stdout == native
+
+    def test_repeated_runs_identical(self):
+        outs = set()
+        for seed in (0, 1, 2):
+            _, stats = run_protected(LOOP_PROGRAM,
+                                     slicing_period=400_000_000, seed=seed)
+            assert not stats.error_detected
+            outs.add(stats.stdout)
+        assert len(outs) == 1

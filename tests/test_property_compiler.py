@@ -1,0 +1,230 @@
+"""Property-based tests: the compiler+interpreter agree with a reference
+evaluator on randomly generated expressions.
+
+The reference implements the ISA's semantics: signed 64-bit two's-complement
+wraparound, C-style truncating division/remainder, arithmetic right shift.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minic import compile_source
+
+from helpers import run_program, stdout_of
+
+_TWO63 = 1 << 63
+_TWO64 = 1 << 64
+
+
+def wrap(value):
+    return ((value + _TWO63) % _TWO64) - _TWO63
+
+
+def c_div(a, b):
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_mod(a, b):
+    return a - c_div(a, b) * b
+
+
+# -- expression AST for generation -------------------------------------------
+
+class Lit:
+    def __init__(self, value):
+        self.value = value
+
+    def render(self):
+        return str(self.value)
+
+    def eval(self, env):
+        return self.value
+
+
+class Var:
+    def __init__(self, name):
+        self.name = name
+
+    def render(self):
+        return self.name
+
+    def eval(self, env):
+        return env[self.name]
+
+
+class Bin:
+    def __init__(self, op, left, right):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def render(self):
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+    def eval(self, env):
+        a = self.left.eval(env)
+        b = self.right.eval(env)
+        if self.op == "+":
+            return wrap(a + b)
+        if self.op == "-":
+            return wrap(a - b)
+        if self.op == "*":
+            return wrap(a * b)
+        if self.op == "/":
+            return wrap(c_div(a, b or 1))  # generator never emits 0 divisor
+        if self.op == "%":
+            return wrap(c_mod(a, b or 1))
+        if self.op == "&":
+            return a & b
+        if self.op == "|":
+            return a | b
+        if self.op == "^":
+            return a ^ b
+        if self.op == "<":
+            return 1 if a < b else 0
+        if self.op == "<=":
+            return 1 if a <= b else 0
+        if self.op == ">":
+            return 1 if a > b else 0
+        if self.op == ">=":
+            return 1 if a >= b else 0
+        if self.op == "==":
+            return 1 if a == b else 0
+        if self.op == "!=":
+            return 1 if a != b else 0
+        raise AssertionError(self.op)
+
+
+class Shift:
+    def __init__(self, op, left, amount):
+        self.op = op
+        self.left = left
+        self.amount = amount
+
+    def render(self):
+        return f"({self.left.render()} {self.op} {self.amount})"
+
+    def eval(self, env):
+        a = self.left.eval(env)
+        if self.op == "<<":
+            return wrap(a << self.amount)
+        # arithmetic right shift of the signed value
+        return a >> self.amount
+
+
+SMALL = st.integers(min_value=-1000, max_value=1000)
+NONZERO = SMALL.filter(lambda v: v != 0)
+VARS = ("a", "b", "c")
+ARITH = st.sampled_from(["+", "-", "*", "&", "|", "^"])
+CMP = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
+
+
+def leaf():
+    return st.one_of(SMALL.map(Lit), st.sampled_from(VARS).map(Var))
+
+
+def expr(depth=2):
+    if depth == 0:
+        return leaf()
+    sub = expr(depth - 1)
+    return st.one_of(
+        leaf(),
+        st.builds(Bin, ARITH, sub, sub),
+        st.builds(Bin, CMP, sub, sub),
+        st.builds(lambda l, d: Bin("/", l, Lit(d)), sub, NONZERO),
+        st.builds(lambda l, d: Bin("%", l, Lit(d)), sub, NONZERO),
+        st.builds(Shift, st.sampled_from(["<<", ">>"]), sub,
+                  st.integers(min_value=0, max_value=12)),
+    )
+
+
+def run_expression(tree, env):
+    source = f"""
+    func main() {{
+        var a; var b; var c;
+        a = {env['a']}; b = {env['b']}; c = {env['c']};
+        print_int({tree.render()});
+    }}
+    """
+    kernel, _, proc = run_program(compile_source(source))
+    assert proc.exit_code == 0
+    return int(stdout_of(kernel).strip())
+
+
+class TestExpressionEquivalence:
+    @given(expr(2), SMALL, SMALL, SMALL)
+    @settings(max_examples=60, deadline=None)
+    def test_random_expressions_match_reference(self, tree, a, b, c):
+        env = {"a": a, "b": b, "c": c}
+        assert run_expression(tree, env) == tree.eval(env)
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62),
+           st.integers(min_value=-(2**62), max_value=2**62))
+    @settings(max_examples=30, deadline=None)
+    def test_wraparound_addition(self, a, b):
+        env = {"a": a, "b": b, "c": 0}
+        tree = Bin("+", Var("a"), Var("b"))
+        assert run_expression(tree, env) == wrap(a + b)
+
+    @given(SMALL, NONZERO)
+    @settings(max_examples=30, deadline=None)
+    def test_division_truncates_toward_zero(self, a, b):
+        env = {"a": a, "b": b, "c": 0}
+        quotient = run_expression(Bin("/", Var("a"), Var("b")), env)
+        remainder = run_expression(Bin("%", Var("a"), Var("b")), env)
+        assert quotient == c_div(a, b)
+        assert remainder == c_mod(a, b)
+        # The C identity holds: (a/b)*b + a%b == a.
+        assert wrap(quotient * b + remainder) == a
+
+    @given(st.integers(min_value=0, max_value=63),
+           st.integers(min_value=-10**6, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_semantics(self, amount, value):
+        env = {"a": value, "b": 0, "c": 0}
+        left = run_expression(Shift("<<", Var("a"), amount), env)
+        right = run_expression(Shift(">>", Var("a"), amount), env)
+        assert left == wrap(value << amount)
+        assert right == value >> amount
+
+
+class TestLogicalProperties:
+    @given(SMALL, SMALL)
+    @settings(max_examples=25, deadline=None)
+    def test_and_or_truth_tables(self, a, b):
+        source = f"""
+        func main() {{
+            var a; var b;
+            a = {a}; b = {b};
+            print_int(a && b);
+            print_int(a || b);
+            print_int(!a);
+        }}
+        """
+        kernel, _, _ = run_program(compile_source(source))
+        got = [int(x) for x in stdout_of(kernel).split()]
+        assert got == [1 if (a and b) else 0,
+                       1 if (a or b) else 0,
+                       0 if a else 1]
+
+    @given(st.lists(SMALL, min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_loop_sum_matches_python(self, values):
+        inits = "\n".join(
+            f"table[{i}] = {v};" for i, v in enumerate(values))
+        source = f"""
+        global table[16];
+        func main() {{
+            var i; var total;
+            {inits}
+            total = 0;
+            for (i = 0; i < {len(values)}; i = i + 1) {{
+                total = total + table[i];
+            }}
+            print_int(total);
+        }}
+        """
+        kernel, _, _ = run_program(compile_source(source))
+        assert int(stdout_of(kernel).strip()) == sum(values)

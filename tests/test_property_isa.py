@@ -1,0 +1,96 @@
+"""Property tests for the ISA toolchain: encode/decode and
+assemble/disassemble round trips over randomly generated instructions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    Instr,
+    assemble,
+    decode_instr,
+    decode_program_code,
+    disassemble_program,
+    encode_instr,
+    encode_program_code,
+)
+from repro.isa import instructions as ins
+from repro.isa.program import CODE_BASE, INSTR_SIZE, Program
+from repro.isa.registers import NUM_FPR, NUM_GPR, NUM_VEC
+
+
+def _reg_for(op, field):
+    """Legal register index range for an opcode/field pair."""
+    fp_ops = {ins.FADD, ins.FSUB, ins.FMUL, ins.FDIV, ins.FLI, ins.FMOV}
+    vec_ops = {ins.VADD, ins.VMUL, ins.VXOR}
+    if op in fp_ops:
+        return st.integers(0, NUM_FPR - 1)
+    if op in vec_ops:
+        return st.integers(0, NUM_VEC - 1)
+    return st.integers(0, NUM_GPR - 1)
+
+
+@st.composite
+def instructions(draw, n_instrs=8):
+    """A random but *assemblable* instruction (labels resolved in-range)."""
+    shapes = {
+        "r3": [ins.ADD, ins.SUB, ins.MUL, ins.AND, ins.OR, ins.XOR,
+               ins.SLT, ins.FADD, ins.FMUL, ins.VADD, ins.VXOR],
+        "r2imm": [ins.ADDI, ins.ANDI, ins.SLLI, ins.LD, ins.ST],
+        "r1imm": [ins.LI, ins.MRS],
+        "r2": [ins.MOV, ins.FMOV],
+        "branch": [ins.BEQ, ins.BNE, ins.BLT, ins.BGE],
+        "imm": [ins.JMP, ins.JAL],
+        "none": [ins.NOP, ins.SYSCALL, ins.HALT],
+    }
+    shape = draw(st.sampled_from(sorted(shapes)))
+    op = draw(st.sampled_from(shapes[shape]))
+    imm_small = st.integers(-(2**31), 2**31 - 1)
+    target = st.integers(0, n_instrs - 1).map(
+        lambda i: CODE_BASE + i * INSTR_SIZE)
+    if shape == "r3":
+        return Instr(op, draw(_reg_for(op, "a")), draw(_reg_for(op, "b")),
+                     draw(_reg_for(op, "c")))
+    if shape == "r2imm":
+        return Instr(op, draw(_reg_for(op, "a")), draw(_reg_for(op, "b")),
+                     imm=draw(imm_small))
+    if shape == "r1imm":
+        return Instr(op, draw(_reg_for(op, "a")), imm=draw(imm_small))
+    if shape == "r2":
+        return Instr(op, draw(_reg_for(op, "a")), draw(_reg_for(op, "b")))
+    if shape == "branch":
+        return Instr(op, b=draw(st.integers(0, NUM_GPR - 1)),
+                     c=draw(st.integers(0, NUM_GPR - 1)), imm=draw(target))
+    if shape == "imm":
+        return Instr(op, imm=draw(target))
+    return Instr(op)
+
+
+class TestEncodingRoundTrip:
+    @given(instructions())
+    @settings(max_examples=120, deadline=None)
+    def test_encode_decode_identity(self, instr):
+        assert decode_instr(encode_instr(instr)) == instr
+
+    @given(st.lists(instructions(), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_program_blob_round_trip(self, instrs):
+        blob = encode_program_code(instrs)
+        assert decode_program_code(blob) == instrs
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=40, deadline=None)
+    def test_float_imm_round_trip(self, value):
+        instr = Instr(ins.FLI, 3, imm=value)
+        assert decode_instr(encode_instr(instr)).imm == value
+
+
+class TestDisassemblerRoundTrip:
+    @given(st.lists(instructions(), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_disassemble_reassemble_identity(self, instrs):
+        program = Program(list(instrs), labels={}, name="prop")
+        text = disassemble_program(program)
+        reassembled = assemble(text)
+        assert reassembled.instrs == program.instrs

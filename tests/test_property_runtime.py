@@ -1,0 +1,137 @@
+"""Property-based tests of the runtime's core invariant: *no false
+positives*.  For any workload shape and any slicing period, a fault-free
+run under Parallaft must produce the native output, byte-identical, with
+every segment verified.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Parallaft, ParallaftConfig
+from repro.minic import compile_source
+from repro.sim import apple_m2, intel_14700
+from repro.workloads import synthetic_source
+
+from helpers import run_program, stdout_of
+
+
+def protected_run(source, period, seed=0, platform=None):
+    config = ParallaftConfig()
+    config.slicing_period = period
+    runtime = Parallaft(compile_source(source), config=config,
+                        platform=platform or apple_m2(), seed=seed)
+    return runtime, runtime.run()
+
+
+class TestNoFalsePositives:
+    @given(
+        st.integers(min_value=1, max_value=4),      # mem ops / iter
+        st.integers(min_value=1, max_value=6),      # compute ops / iter
+        st.integers(min_value=0, max_value=100),    # write fraction
+        st.integers(min_value=50, max_value=2000),  # slicing period (M)
+        st.integers(min_value=0, max_value=5),      # kernel seed
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_synthetic_workloads_verify_cleanly(self, mem_ops, compute_ops,
+                                                write_pct, period_m, seed):
+        source = synthetic_source(total_iters=6000,
+                                  footprint_bytes=65536,
+                                  mem_ops_per_iter=mem_ops,
+                                  compute_ops_per_iter=compute_ops,
+                                  write_fraction_pct=write_pct,
+                                  seed=seed + 1)
+        kernel, _, _ = run_program(compile_source(source), seed=seed)
+        native = stdout_of(kernel)
+
+        runtime, stats = protected_run(source, period_m * 1_000_000,
+                                       seed=seed)
+        assert not stats.error_detected, stats.errors
+        assert stats.stdout == native
+        assert stats.exit_code == 0
+        # Every created segment was verified.
+        assert stats.segments_checked == len(runtime.segments)
+
+    @given(st.integers(min_value=0, max_value=4))
+    @settings(max_examples=5, deadline=None)
+    def test_nondet_heavy_workload_verifies(self, seed):
+        source = """
+        global trace[64];
+        func main() {
+            var i; var acc;
+            acc = 0;
+            for (i = 0; i < 40; i = i + 1) {
+                trace[i % 64] = rdtsc() + gettimeofday() + cpu_model();
+                acc = acc + trace[i % 64] % 1009;
+            }
+            for (i = 0; i < 15000; i = i + 1) { acc = acc + i; }
+            print_int(acc % 1000003);
+        }
+        """
+        _, stats = protected_run(source, 150_000_000, seed=seed)
+        assert not stats.error_detected, stats.errors
+        assert stats.nondet_recorded > 0
+        assert stats.syscalls_replayed > 0
+
+    @given(st.sampled_from(["apple", "intel"]),
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=6, deadline=None)
+    def test_both_platforms_verify(self, platform_name, seed):
+        platform = apple_m2() if platform_name == "apple" else intel_14700()
+        source = synthetic_source(total_iters=5000, footprint_bytes=131072,
+                                  mem_ops_per_iter=2, seed=seed + 3)
+        _, stats = protected_run(source, 300_000_000, seed=seed,
+                                 platform=platform)
+        assert not stats.error_detected, stats.errors
+
+
+class TestSegmentInvariants:
+    def test_segments_partition_the_execution(self):
+        """Consecutive segments share boundaries: segment k's end counters
+        equal segment k+1's start counters - no gaps, no overlaps (the
+        induction requirement of §2.3/§3.1)."""
+        source = synthetic_source(total_iters=12000, footprint_bytes=65536)
+        runtime, stats = protected_run(source, 200_000_000)
+        assert not stats.error_detected
+        segments = runtime.segments
+        assert len(segments) >= 3
+        for prev, nxt in zip(segments, segments[1:]):
+            assert prev.end_point is not None
+            # Absolute branch count at prev's end == next's start base.
+            end_abs = prev.start_branches + prev.end_point.branches
+            assert end_abs == nxt.start_branches
+
+    def test_max_live_segments_respected(self):
+        source = synthetic_source(total_iters=20000, footprint_bytes=262144,
+                                  mem_ops_per_iter=4)
+        config = ParallaftConfig()
+        config.slicing_period = 80_000_000
+        config.max_live_segments = 3
+        runtime = Parallaft(compile_source(source), config=config,
+                            platform=apple_m2())
+        peak = [0]
+
+        def hook(proc, role):
+            live = sum(1 for s in runtime.segments if s.live)
+            peak[0] = max(peak[0], live)
+
+        runtime.quantum_hooks.append(hook)
+        stats = runtime.run()
+        assert not stats.error_detected
+        assert peak[0] <= 3
+
+    def test_detection_latency_bound(self):
+        """Errors are detected within max-segment-length x live-segment
+        bound (§3.4): each segment's verification completes within a
+        bounded time of its recording end."""
+        source = synthetic_source(total_iters=10000, footprint_bytes=65536)
+        runtime, stats = protected_run(source, 150_000_000)
+        assert not stats.error_detected
+        for segment in runtime.segments:
+            assert segment.check_finished_time is not None
+            assert segment.ready_time is not None
+            lag = segment.check_finished_time - segment.ready_time
+            # Bound: a handful of segment-lengths (generous constant).
+            segment_len = max(1e-9,
+                              segment.ready_time - segment.start_time)
+            assert lag < 14 * segment_len + 0.1

@@ -1,0 +1,75 @@
+"""Tests for the plain-text report renderers."""
+
+import pytest
+
+from repro.faults import CampaignResult, InjectionResult, Outcome
+from repro.harness.figures import PeriodSweepPoint, SuiteComparison
+from repro.harness.overhead import OverheadBreakdown
+from repro.harness.report import (
+    render_breakdown,
+    render_injection,
+    render_memory,
+    render_overheads,
+    render_period_sweep,
+)
+from repro.harness.runner import BenchmarkResult, InputResult
+
+
+def fake_comparison():
+    comparison = SuiteComparison(platform="apple_m2")
+    for name, base, para, raft in (("alpha", 10.0, 11.0, 12.0),
+                                   ("beta", 20.0, 26.0, 22.0)):
+        def result(mode, wall):
+            r = BenchmarkResult(name, mode)
+            r.inputs.append(InputResult(
+                wall_time=wall, main_wall_time=wall, user_time=wall,
+                sys_time=0.0, energy_joules=wall * 7,
+                pss_samples=[wall * 100]))
+            return r
+        comparison.baseline[name] = result("baseline", base)
+        comparison.parallaft[name] = result("parallaft", para)
+        comparison.raft[name] = result("raft", raft)
+    return comparison
+
+
+class TestRenderers:
+    def test_render_perf_overheads(self):
+        text = render_overheads(fake_comparison(), "perf")
+        assert "alpha" in text and "geomean" in text
+        assert "+10.0%" in text   # alpha parallaft
+        assert "+20.0%" in text   # alpha raft
+
+    def test_render_energy_overheads(self):
+        text = render_overheads(fake_comparison(), "energy")
+        assert "energy overhead" in text
+
+    def test_render_memory(self):
+        text = render_memory(fake_comparison())
+        assert "1.10x" in text  # alpha parallaft pss ratio
+
+    def test_render_breakdown(self):
+        text = render_breakdown({
+            "alpha": OverheadBreakdown("alpha", 20.0, 5.0, 8.0, 4.0, 3.0)})
+        assert "fork+cow" in text and "20.0" in text
+
+    def test_render_period_sweep(self):
+        points = [PeriodSweepPoint(1e9, 30.0, 20.0, 2.0),
+                  PeriodSweepPoint(5e9, 18.0, 8.0, 6.0)]
+        text = render_period_sweep({"mcf": points})
+        assert "sweet spot 5B" in text
+        assert "1Billion" in text
+
+    def test_render_injection(self):
+        campaign = CampaignResult("alpha")
+        campaign.injections.append(InjectionResult(
+            Outcome.DETECTED, "gpr", 3, 7, 0, 0.1))
+        campaign.injections.append(InjectionResult(
+            Outcome.BENIGN, "vec", 1, 9, 1, 0.2))
+        text = render_injection({"alpha": campaign})
+        assert "50.0%" in text
+        assert "overall" in text
+
+    def test_columns_align(self):
+        text = render_overheads(fake_comparison(), "perf")
+        lines = text.splitlines()[1:]
+        assert len({line.index("  ") for line in lines if "  " in line}) >= 1

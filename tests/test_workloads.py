@@ -1,0 +1,147 @@
+"""Tests for the SPEC-like workload suite and the synthetic generator."""
+
+import pytest
+
+from repro.workloads import (
+    SENSITIVITY_TRIO,
+    all_benchmarks,
+    benchmark,
+    fp_benchmarks,
+    int_benchmarks,
+    synthetic_program,
+    synthetic_source,
+)
+
+from helpers import run_program, stdout_of
+
+
+class TestRegistry:
+    def test_sixteen_benchmarks(self):
+        registry = all_benchmarks()
+        assert len(registry) == 16
+
+    def test_int_fp_split(self):
+        assert len(int_benchmarks()) == 10
+        assert len(fp_benchmarks()) == 6
+        assert {b.suite for b in all_benchmarks().values()} == {"int", "fp"}
+
+    def test_sensitivity_trio_exists(self):
+        for name in SENSITIVITY_TRIO:
+            assert benchmark(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark("nonexistent")
+
+    def test_paper_input_structure(self):
+        assert benchmark("gcc").n_inputs == 9     # paper §5.5: 9 inputs
+        assert benchmark("bzip2").n_inputs == 6   # SPEC's six inputs
+        assert benchmark("mcf").n_inputs == 1
+
+    def test_input_seeds(self):
+        assert benchmark("gcc").input_seeds() == list(range(1, 10))
+
+
+@pytest.mark.parametrize("name", sorted(all_benchmarks()))
+class TestEveryBenchmark:
+    def test_runs_and_produces_output(self, name):
+        bench = benchmark(name)
+        program = bench.program(1, 1)
+        kernel, executor, proc = run_program(program, files=bench.files(1, 1))
+        assert proc.exit_code == 0
+        output = stdout_of(kernel)
+        assert output.strip(), f"{name} produced no checksum"
+        int(output.strip().splitlines()[-1])  # checksum is an integer
+
+    def test_deterministic_across_runs(self, name):
+        bench = benchmark(name)
+
+        def run_once():
+            kernel, _, proc = run_program(bench.program(1, 1),
+                                          files=bench.files(1, 1))
+            return stdout_of(kernel), proc.cpu.branches_retired
+        assert run_once() == run_once()
+
+    def test_inputs_differ(self, name):
+        bench = benchmark(name)
+        if bench.n_inputs < 2:
+            pytest.skip("single-input benchmark")
+        out = set()
+        for seed in bench.input_seeds()[:2]:
+            kernel, _, _ = run_program(bench.program(1, seed),
+                                       files=bench.files(1, seed))
+            out.add(stdout_of(kernel))
+        assert len(out) == 2, "inputs should produce different results"
+
+
+class TestCharacteristics:
+    def test_compute_bound_benchmarks_are_cache_resident(self):
+        """sjeng/povray/namd/gobmk must fit the little cache: that is what
+        makes their checkers cheap (paper: sjeng ~2x slowdown)."""
+        from repro.sim import apple_m2
+        platform = apple_m2()
+        for name in ("sjeng", "povray", "namd", "gobmk"):
+            bench = benchmark(name)
+            _, _, proc = run_program(bench.program(1, 1),
+                                     files=bench.files(1, 1))
+            assert proc.mem.rss_bytes() <= platform.little_cache_bytes, name
+
+    def test_memory_bound_benchmarks_exceed_little_cache(self):
+        from repro.sim import apple_m2
+        platform = apple_m2()
+        for name in ("mcf", "milc", "lbm", "libquantum"):
+            bench = benchmark(name)
+            _, _, proc = run_program(bench.program(1, 1),
+                                     files=bench.files(1, 1))
+            assert proc.mem.rss_bytes() > 1.5 * platform.little_cache_bytes, \
+                name
+
+    def test_slowdown_ordering_matches_paper(self):
+        """Little-core slowdowns: sjeng ~ smallest, lbm ~ largest
+        (paper: 2.0x for sjeng, >4x for mcf, lbm worst of all)."""
+        from repro.sim import apple_m2
+        platform = apple_m2()
+        slowdowns = {}
+        for name in ("sjeng", "gcc", "mcf", "lbm"):
+            bench = benchmark(name)
+            _, _, proc = run_program(bench.program(1, 1),
+                                     files=bench.files(1, 1))
+            ratio = proc.cpu.mem_ops_retired / proc.cpu.instr_retired
+            slowdowns[name] = platform.little_slowdown(
+                ratio, proc.mem.rss_bytes())
+        assert slowdowns["sjeng"] < 2.2
+        assert slowdowns["mcf"] > 3.0
+        assert slowdowns["lbm"] > slowdowns["mcf"]
+        assert slowdowns["sjeng"] < slowdowns["gcc"] < slowdowns["lbm"]
+
+
+class TestSyntheticGenerator:
+    def test_default_program_runs(self):
+        kernel, _, proc = run_program(synthetic_program(total_iters=2000))
+        assert proc.exit_code == 0
+        assert stdout_of(kernel).strip()
+
+    def test_mem_ops_parameter_controls_intensity(self):
+        def ratio(mem_ops):
+            program = synthetic_program(total_iters=3000,
+                                        mem_ops_per_iter=mem_ops,
+                                        compute_ops_per_iter=4)
+            _, _, proc = run_program(program)
+            return proc.cpu.mem_ops_retired / proc.cpu.instr_retired
+        assert ratio(6) > 2 * ratio(1)
+
+    def test_footprint_parameter_controls_rss(self):
+        small = synthetic_program(total_iters=100, footprint_bytes=32768)
+        large = synthetic_program(total_iters=100, footprint_bytes=524288)
+        _, _, proc_small = run_program(small)
+        _, _, proc_large = run_program(large)
+        assert proc_large.mem.rss_bytes() > proc_small.mem.rss_bytes() + 400000
+
+    def test_write_fraction_zero_means_read_only_heap(self):
+        source = synthetic_source(total_iters=500, write_fraction_pct=0)
+        assert "poke64(buf" not in source
+
+    def test_deterministic(self):
+        program = synthetic_program(total_iters=1500, seed=9)
+        outs = {stdout_of(run_program(program)[0]) for _ in range(2)}
+        assert len(outs) == 1
