@@ -1,0 +1,137 @@
+"""Recovery extension: fault-free tax and end-to-end recovery campaign.
+
+The paper stops at detection (Section 8 sketches recovery as future
+work).  This suite measures what the implemented recovery mode adds:
+
+1. The *recovery tax* — fault-free overhead of ``enable_recovery`` over
+   detection-only Parallaft.  Retaining a segment-start checkpoint per
+   in-flight segment costs extra COW forks and memory, nothing else.
+2. The acceptance campaign — register/memory bit-flips injected into the
+   **main** process.  With recovery on, every non-benign fault must end
+   RECOVERED with stdout byte-identical to the fault-free reference;
+   with recovery off, the same seeds must merely stop (detected).
+"""
+
+import pytest
+from conftest import injections_per_segment, print_rows
+
+from repro.common.units import BILLION
+from repro.faults import Outcome
+from repro.harness.figures import (
+    RECOVERY_BENCHMARKS,
+    _period_config,
+    run_recovery_campaign,
+)
+from repro.harness.runner import overhead_pct, run_baseline, run_protected
+from repro.sim import platform_by_name
+from repro.workloads import all_benchmarks
+
+#: Same period/segment budget rationale as the figure-10 campaign: each
+#: injection costs a full program run.
+CAMPAIGN_PERIOD = 20 * BILLION
+MAX_SEGMENTS = 3
+
+
+def campaign_injections():
+    # The acceptance bar for the recovery campaign is at least three
+    # injections per sampled segment (REPRO_INJECTIONS can only raise it).
+    return max(3, injections_per_segment())
+
+
+@pytest.fixture(scope="module")
+def campaign_arms():
+    recovery = run_recovery_campaign(
+        names=RECOVERY_BENCHMARKS,
+        injections_per_segment=campaign_injections(),
+        paper_period=CAMPAIGN_PERIOD, max_segments=MAX_SEGMENTS,
+        recovery=True)
+    control = run_recovery_campaign(
+        names=RECOVERY_BENCHMARKS,
+        injections_per_segment=campaign_injections(),
+        paper_period=CAMPAIGN_PERIOD, max_segments=MAX_SEGMENTS,
+        recovery=False)
+    return recovery, control
+
+
+def test_recovery_tax_fault_free(benchmark):
+    """enable_recovery on a clean run: overhead over detection-only."""
+    registry = all_benchmarks()
+
+    def experiment():
+        rows = {}
+        for name in RECOVERY_BENCHMARKS:
+            bench = registry[name]
+            platform = platform_by_name("apple_m2")
+            base = run_baseline(bench, platform=platform)
+            detect = run_protected(bench, platform=platform,
+                                   config=_period_config(CAMPAIGN_PERIOD))
+            config = _period_config(CAMPAIGN_PERIOD)
+            config.enable_recovery = True
+            recover = run_protected(bench, platform=platform, config=config)
+            rows[name] = (overhead_pct(detect, base),
+                          overhead_pct(recover, base))
+        return rows
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = []
+    for name, (detect_pct, recover_pct) in sorted(result.items()):
+        lines.append(f"{name:12s} detection +{detect_pct:5.1f}%   "
+                     f"recovery +{recover_pct:5.1f}%   "
+                     f"tax {recover_pct - detect_pct:+5.1f}pp")
+    print_rows("Recovery tax (fault-free)", lines,
+               "recovery retains one extra checkpoint per segment")
+
+    for name, (detect_pct, recover_pct) in result.items():
+        # The extra segment-start checkpoint is a COW fork: the tax exists
+        # but must stay small relative to the detection overhead itself.
+        assert recover_pct >= detect_pct - 1.0, name
+        assert recover_pct - detect_pct < 15.0, name
+
+
+def test_recovery_campaign(benchmark, campaign_arms):
+    recovery, control = benchmark.pedantic(lambda: campaign_arms,
+                                           rounds=1, iterations=1)
+
+    rows = []
+    for name in sorted(recovery):
+        campaign = recovery[name]
+        rows.append(
+            f"{name:12s} n={campaign.total:3d}  "
+            f"recovered {100 * campaign.fraction(Outcome.RECOVERED):5.1f}%  "
+            f"benign {100 * campaign.fraction(Outcome.BENIGN):5.1f}%  "
+            f"missed {campaign.missed}")
+        detect = control[name]
+        rows.append(
+            f"{'  (no recovery)':12s} n={detect.total:3d}  "
+            f"detected {100 * detect.detected_fraction:5.1f}%  "
+            f"benign {100 * detect.fraction(Outcome.BENIGN):5.1f}%  "
+            f"missed {detect.missed}")
+    print_rows("Recovery campaign: main-process bit flips", rows,
+               "beyond the paper: every detected main fault is repaired")
+
+    total = sum(c.total for c in recovery.values())
+    assert total >= 2 * MAX_SEGMENTS * campaign_injections() - \
+        sum(c.missed for c in recovery.values())
+    assert len(recovery) >= 2
+
+    recovered = 0
+    for campaign in recovery.values():
+        for injection in campaign.injections:
+            # With recovery on, nothing may merely stop: a fault either
+            # never mattered (benign) or was rolled back and re-executed
+            # to the exact fault-free output.
+            assert injection.outcome in (Outcome.BENIGN, Outcome.RECOVERED), \
+                injection
+            if injection.outcome is Outcome.RECOVERED:
+                recovered += 1
+                assert injection.output_matched
+    assert recovered >= 1, "campaign produced no recoveries to validate"
+
+    for campaign in control.values():
+        for injection in campaign.injections:
+            # The control arm has no rollback: every non-benign fault
+            # stops the run through one of the detection mechanisms.
+            assert injection.outcome in (Outcome.BENIGN, Outcome.DETECTED,
+                                         Outcome.EXCEPTION, Outcome.TIMEOUT), \
+                injection

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Recovery demo: watch Parallaft repair a fault in the *main* process.
+
+The paper's campaigns corrupt checkers — the main is the trusted copy.
+This demo goes further: it flips a bit in the main itself, lets the
+segment check fail, and shows the runtime diagnose the failure, roll the
+main back to the last verified checkpoint, and re-execute — finishing
+with output byte-identical to a fault-free run.
+
+    python examples/recovery_demo.py
+"""
+
+from repro import Parallaft, ParallaftConfig, compile_source
+from repro.faults import FaultInjector, Outcome, TARGET_MAIN
+from repro.sim import apple_m2
+
+WORKLOAD = """
+global grid[256];
+
+func main() {
+    var i; var round; var total;
+    srand64(42);
+    for (round = 0; round < 30; round = round + 1) {
+        for (i = 0; i < 256; i = i + 1) {
+            grid[i] = grid[i] * 5 + round - i;
+        }
+        print_int(grid[round]);
+    }
+    total = 0;
+    for (i = 0; i < 256; i = i + 1) { total = total + grid[i]; }
+    print_int(total);
+}
+"""
+
+
+def make_config(recovery=True):
+    config = ParallaftConfig()
+    config.slicing_period = 400_000_000
+    config.enable_recovery = recovery
+    return config
+
+
+def run_with_main_fault(recovery):
+    runtime = Parallaft(compile_source(WORKLOAD),
+                        config=make_config(recovery), platform=apple_m2())
+    fired = [0]
+
+    def flip_main_register(proc, role):
+        if role == "main" and fired[0] == 0 and proc.user_time > 0.002:
+            proc.cpu.regs.flip_bit("gpr", 8, 17)
+            fired[0] += 1
+
+    runtime.quantum_hooks.append(flip_main_register)
+    return runtime.run()
+
+
+def main():
+    reference = Parallaft(compile_source(WORKLOAD),
+                          config=make_config(recovery=False),
+                          platform=apple_m2()).run()
+    print("fault-free run:")
+    print(f"  output tail {reference.stdout.split()[-1]!r}, "
+          f"{len(reference.stdout.splitlines())} lines")
+
+    print("\nsame workload, one bit flipped in the MAIN, recovery off:")
+    detected = run_with_main_fault(recovery=False)
+    error = detected.errors[0]
+    print(f"  detected: {error.kind} in segment {error.segment_index} "
+          "-> run stops (paper behaviour)")
+
+    print("\nsame fault, recovery on:")
+    stats = run_with_main_fault(recovery=True)
+    dump = stats.to_dict()
+    print(f"  diagnostic re-checks : {dump['counter.recovery.retries']}")
+    print(f"  rollbacks            : {dump['counter.recovery.rollbacks']}")
+    print(f"  wasted checker cycles: "
+          f"{dump['counter.recovery.wasted_cycles']:.3g}")
+    matched = stats.stdout == reference.stdout
+    print(f"  errors surfaced      : {len(stats.errors)}")
+    print(f"  output == reference  : {matched}")
+    assert matched and not stats.errors
+    assert dump["counter.recovery.rollbacks"] >= 1
+
+    print("\nmini campaign (register+memory flips in the main, "
+          "recovery on vs off):")
+    for recovery in (True, False):
+        injector = FaultInjector(compile_source(WORKLOAD),
+                                 config_factory=lambda r=recovery:
+                                     make_config(r),
+                                 platform_factory=apple_m2, seed=7)
+        campaign = injector.run_campaign(
+            injections_per_segment=2, max_segments=2,
+            benchmark_name="demo", target=TARGET_MAIN,
+            verify_recovered_output=recovery)
+        label = "recovery on " if recovery else "recovery off"
+        parts = ", ".join(f"{o.value} {campaign.count(o)}"
+                          for o in Outcome if campaign.count(o))
+        print(f"  {label}: n={campaign.total}  {parts}")
+        if recovery:
+            assert all(r.outcome in (Outcome.BENIGN, Outcome.RECOVERED)
+                       for r in campaign.injections)
+
+    print("\nevery fault the control arm only *detects*, the recovery arm "
+          "repairs — same output as if the fault never happened.")
+
+
+if __name__ == "__main__":
+    main()

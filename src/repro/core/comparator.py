@@ -39,6 +39,23 @@ class ComparisonResult:
         status = "match" if self.match else f"MISMATCH({self.reason})"
         return f"ComparisonResult({status}, pages={self.pages_compared})"
 
+    def describe(self) -> str:
+        """Human-readable divergence summary for error reports."""
+        if self.match:
+            return "match"
+        if self.reason == "pc":
+            return "program counters diverge"
+        if self.reason == "registers":
+            return "register files diverge"
+        if self.reason == "memory":
+            shown = ", ".join(hex(v) for v in self.mismatched_vpns[:4])
+            extra = len(self.mismatched_vpns) - 4
+            if extra > 0:
+                shown += f", +{extra} more"
+            return (f"{len(self.mismatched_vpns)} dirty page(s) diverge "
+                    f"(vpn {shown})")
+        return self.reason
+
 
 class StateComparator:
     def __init__(self, strategy: ComparisonStrategy, page_size: int):

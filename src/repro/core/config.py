@@ -95,6 +95,27 @@ class ParallaftConfig:
     retry_failed_checkers: bool = False
     max_checker_retries: int = 1
 
+    #: Table 2 "error recovery", part two: when a failed check persists
+    #: across the diagnostic re-check (implicating the *main*), roll the
+    #: main back to the last verified checkpoint and re-execute the
+    #: segment instead of stopping.  Console output is buffered per
+    #: segment so rolled-back output never escapes the sphere of
+    #: replication.
+    enable_recovery: bool = False
+    #: Total rollbacks allowed across the whole run before giving up.
+    max_rollbacks: int = 8
+    #: Consecutive re-executions of the *same* region before giving up
+    #: (a persistent fault re-detected every time).
+    max_segment_reexecutions: int = 3
+    #: Watchdog on a re-executed segment: abort recovery if the new main
+    #: has not reached the next boundary within
+    #: ``original_segment_instructions * this scale``.
+    recovery_watchdog_scale: float = 4.0
+    #: After each consecutive rollback the slicing period is halved
+    #: (period / 2**streak) to shrink the re-exposed window, down to at
+    #: most this many halvings.
+    recovery_shrink_limit: int = 4
+
     #: Table 2 "error containment in SoR": hold the main at every
     #: globally-effectful syscall until all previous segments have been
     #: verified, so no erroneous data ever escapes.  Expensive (the paper
@@ -125,6 +146,27 @@ class ParallaftConfig:
                                      "instructions")
         if self.max_checker_retries < 0:
             raise RuntimeConfigError("max_checker_retries must be >= 0")
+        if self.max_rollbacks < 0:
+            raise RuntimeConfigError("max_rollbacks must be >= 0")
+        if self.max_segment_reexecutions < 1:
+            raise RuntimeConfigError("max_segment_reexecutions must be >= 1")
+        if self.recovery_watchdog_scale <= 1.0:
+            raise RuntimeConfigError(
+                "recovery_watchdog_scale must exceed 1.0")
+        if self.recovery_shrink_limit < 0:
+            raise RuntimeConfigError("recovery_shrink_limit must be >= 0")
+        if self.enable_recovery and self.mode is RuntimeMode.RAFT:
+            raise RuntimeConfigError(
+                "recovery requires segment checkpoints; RAFT mode has none")
+        if self.enable_recovery and not self.compare_state:
+            raise RuntimeConfigError(
+                "recovery requires state comparison (compare_state)")
+
+    @property
+    def retains_recovery_checkpoint(self) -> bool:
+        """Whether segment-start checkpoints outlive checker placement
+        (needed by both the retry and the rollback extensions)."""
+        return self.retry_failed_checkers or self.enable_recovery
 
     @classmethod
     def raft(cls) -> "ParallaftConfig":

@@ -46,6 +46,7 @@ from repro.isa import instructions as I
 from repro.isa.program import Program
 from repro.kernel import Kernel, SyscallAction, Tracer
 from repro.kernel.process import Process, ProcessState
+from repro.recovery.manager import RecoveryManager
 from repro.sim.executor import Executor
 from repro.sim.platform import PlatformConfig, apple_m2
 
@@ -89,6 +90,8 @@ class Parallaft(Tracer):
         self.sched = CheckerScheduler(self.executor, self.config, self.stats)
         self.slicing_unit = (self.config.slicing_unit
                              or self.platform.slicing_unit)
+        self.recovery: Optional[RecoveryManager] = (
+            RecoveryManager(self) if self.config.enable_recovery else None)
 
         self.main: Optional[Process] = None
         self.segments: List[Segment] = []
@@ -168,9 +171,14 @@ class Parallaft(Tracer):
         self.segments.append(segment)
         self.current = segment
         self.stats.checkpoint_count += 1
-        if self.config.retry_failed_checkers:
+        # Output the segment produces is only committed once it verifies;
+        # a rollback truncates the consoles back to these marks.
+        segment.console_mark = self.kernel.console.mark()
+        segment.stderr_mark = self.kernel.stderr_console.mark()
+        if self.config.retains_recovery_checkpoint:
             # Error recovery (Table 2 future work): retain a pristine copy
-            # of the segment-start state to re-fork checkers from.
+            # of the segment-start state to re-fork checkers from — and,
+            # with enable_recovery, to roll the main back to.
             recovery, cost = self.kernel.fork(
                 main, name=f"recovery-{segment.index}", paused=True)
             self.executor.charge(main, cost)
@@ -218,6 +226,9 @@ class Parallaft(Tracer):
         segment.status = SegmentStatus.READY
         self.current = None
         self._release_segment(segment)
+        if self.recovery is not None:
+            # A re-executed region is fully re-recorded: watchdog off.
+            self.recovery.note_boundary()
 
     def _release_segment(self, segment: Segment) -> None:
         """Arm the checker's replay to the recorded end point and start it."""
@@ -301,11 +312,24 @@ class Parallaft(Tracer):
 
     def _report_error(self, kind: str, segment: Optional[Segment],
                       detail: str = "") -> None:
-        if (segment is not None and self.config.retry_failed_checkers
+        # A recovery-watchdog trip means recovery itself failed: neither
+        # re-checking nor another rollback may absorb it.
+        recoverable = kind != "recovery_watchdog"
+        if (recoverable and segment is not None
+                and self.config.retains_recovery_checkpoint
                 and segment.retries < self.config.max_checker_retries
                 and segment.recovery_checkpoint is not None
                 and segment.end_point is not None):
+            # First line of defense — and, with recovery on, the diagnosis
+            # step: re-check with a second checker forked from the retained
+            # segment-start state.  A transient checker fault vanishes; a
+            # main-side fault persists into the next _report_error call.
             self._retry_segment_check(segment, kind)
+            return
+        if (recoverable and self.recovery is not None and segment is not None
+                and self.recovery.on_check_failed(segment, kind, detail)):
+            # The main was implicated and rolled back to the last verified
+            # checkpoint: the error is absorbed, not reported.
             return
         index = segment.index if segment is not None else -1
         self.stats.errors.append(DetectedError(
@@ -332,6 +356,8 @@ class Parallaft(Tracer):
         """
         segment.retries += 1
         self.stats.checker_retries += 1
+        if self.config.enable_recovery:
+            self.stats.recovery_retries += 1
         old = segment.checker
         if old is not None:
             # Detach before killing so the exit hook does not re-enter the
@@ -673,6 +699,8 @@ class Parallaft(Tracer):
                     segment.check_finished_time = self.executor.current_time
                     segment.status = SegmentStatus.CHECKED
                     self.stats.segments_checked += 1
+                    if self.recovery is not None:
+                        self.recovery.on_segment_verified(segment)
                 return True
             # No matching record: the checker faulted where the main did
             # not -> a detected error (the "Exception" class of §5.6).
@@ -713,6 +741,10 @@ class Parallaft(Tracer):
             hook(proc, role or "?")
         if role != "main" or self.current is None:
             return
+        if self.recovery is not None:
+            self.recovery.check_watchdog(proc)
+            if not proc.alive or self._terminated:
+                return
         if self.config.mode == RuntimeMode.RAFT:
             return
         segment = self.current
@@ -722,7 +754,10 @@ class Parallaft(Tracer):
             progress = ((self._instr_reading(proc)
                          - segment.start_instructions)
                         * self.platform.cycle_scale)
-        if progress < self.config.slicing_period:
+        period = (self.recovery.effective_slicing_period()
+                  if self.recovery is not None
+                  else self.config.slicing_period)
+        if progress < period:
             return
         if self._live_segments() >= self.config.max_live_segments:
             # Detection-latency bound (§3.4): stall the main until a
@@ -746,11 +781,14 @@ class Parallaft(Tracer):
             self.executor.charge(
                 checker, self.kernel.costs.hash_cycles(result.bytes_hashed))
             if not result.match:
-                self._report_error("state_mismatch", segment, result.reason)
+                self._report_error("state_mismatch", segment,
+                                   result.describe())
                 return
         segment.check_finished_time = self.executor.current_time
         segment.status = SegmentStatus.CHECKED
         self.stats.segments_checked += 1
+        if self.recovery is not None:
+            self.recovery.on_segment_verified(segment)
         self._retire_segment(segment)
 
     def _retire_segment(self, segment: Segment) -> None:

@@ -33,6 +33,7 @@ class SegmentStatus(enum.Enum):
     CHECKING = "checking"      # checker running (or queued for a core)
     CHECKED = "checked"        # comparison succeeded
     FAILED = "failed"          # divergence detected
+    ROLLED_BACK = "rolled_back"  # discarded by recovery; main re-executes
 
 
 class Segment:
@@ -67,10 +68,16 @@ class Segment:
         # Signal replay stops accumulated during recording.
         self.signal_stops: List[ReplayStop] = []
 
-        # Recovery support (retry_failed_checkers): a pristine fork of the
-        # segment-start state, retained so a failed check can be retried.
+        # Recovery support (retry_failed_checkers / enable_recovery): a
+        # pristine fork of the segment-start state, retained so a failed
+        # check can be retried — or, with recovery, promoted to become the
+        # new main after a rollback.
         self.recovery_checkpoint: Optional[Process] = None
         self.retries = 0
+        #: Console/stderr buffer lengths at segment start, so a rollback
+        #: can truncate output the discarded execution produced.
+        self.console_mark = 0
+        self.stderr_mark = 0
 
         # Filled while checking.
         self.replayer: Optional[ExecPointReplayer] = None

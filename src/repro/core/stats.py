@@ -46,6 +46,10 @@ class RunStats:
     bytes_recorded: int = 0
     segments_checked: int = 0
     checker_retries: int = 0
+    # counter.recovery.* — checkpoint-rollback recovery extension
+    recovery_rollbacks: int = 0
+    recovery_retries: int = 0         # diagnostic re-checks run by recovery
+    recovery_wasted_cycles: float = 0.0   # discarded main+checker work
     checker_migrations: int = 0
     checkers_finished_on_big: int = 0
     mmap_splits: int = 0
@@ -91,6 +95,9 @@ class RunStats:
             "counter.syscalls_replayed": self.syscalls_replayed,
             "counter.segments_checked": self.segments_checked,
             "counter.checker_migrations": self.checker_migrations,
+            "counter.recovery.rollbacks": self.recovery_rollbacks,
+            "counter.recovery.retries": self.recovery_retries,
+            "counter.recovery.wasted_cycles": self.recovery_wasted_cycles,
             "hwmon.total_energy": self.energy_joules,
             "errors": [f"{e.kind}@{e.segment_index}" for e in self.errors],
             "exit_code": self.exit_code,

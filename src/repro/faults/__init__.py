@@ -7,11 +7,23 @@ from repro.faults.outcomes import (
     InjectionResult,
     Outcome,
 )
+from repro.faults.sites import (
+    FaultSite,
+    KIND_MEMORY,
+    KIND_REGISTER,
+    TARGET_CHECKER,
+    TARGET_MAIN,
+)
 
 __all__ = [
     "FaultInjector",
+    "FaultSite",
     "CampaignResult",
     "InjectionResult",
     "Outcome",
     "ERROR_KIND_TO_OUTCOME",
+    "KIND_MEMORY",
+    "KIND_REGISTER",
+    "TARGET_CHECKER",
+    "TARGET_MAIN",
 ]

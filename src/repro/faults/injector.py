@@ -1,23 +1,31 @@
-"""Fault injection campaigns (paper §5.6).
+"""Fault injection campaigns (paper §5.6, extended with main-side faults).
 
 Methodology, mirrored from the paper:
 
-1. A profile run measures each segment's checker execution time ``t``
-   without faults.
-2. For each segment, the program is re-run with one injection: at a point
-   drawn uniformly from ``[0, 1.1 t)`` of the target checker's execution, a
-   random bit is flipped in a random register (general-purpose, floating
-   point or vector).  Injections that miss (the checker finished first) are
-   discarded and retried.
+1. A profile run measures each segment's checker execution time ``t`` (and
+   the main's per-segment instruction counts) without faults.
+2. For each segment, the program is re-run with one injection.  Checker
+   faults fire at a point drawn uniformly from ``[0, 1.1 t)`` of the
+   checker's execution; main faults fire when the main's instruction
+   progress through the segment crosses a uniformly drawn fraction.  The
+   flipped bit lives in a random register (GPR/FPR/vector) or — beyond the
+   paper — in a random *dirty page* of the target (see
+   :mod:`repro.faults.sites`).  Injections that miss (the target finished
+   first, or had no dirty page yet) are retried and, if they never fire,
+   counted on ``CampaignResult.missed`` instead of silently vanishing.
 3. The run's outcome is classified as detected / exception / timeout /
-   benign (see :mod:`repro.faults.outcomes`).
+   recovered / benign (see :mod:`repro.faults.outcomes`).
+
+Main-side injection needs recovery (or at least checker retries) enabled
+for faults to be *survived*; without it they are merely detected, which is
+what the recovery benchmarks use as the control arm.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.common.rng import RngPool
 from repro.core import Parallaft, ParallaftConfig
 from repro.core.stats import RunStats
 from repro.faults.outcomes import (
@@ -25,6 +33,13 @@ from repro.faults.outcomes import (
     ERROR_KIND_TO_OUTCOME,
     InjectionResult,
     Outcome,
+)
+from repro.faults.sites import (
+    FaultSite,
+    KIND_MEMORY,
+    KIND_REGISTER,
+    TARGET_CHECKER,
+    TARGET_MAIN,
 )
 from repro.isa.program import Program
 from repro.isa.registers import all_fault_sites
@@ -45,8 +60,14 @@ class FaultInjector:
         self.files = files or {}
         self.seed = seed
         self.quantum = quantum
-        self.rng = random.Random(seed * 7919 + 13)
+        # Campaign draws come from the substrate's named-stream scheme, so
+        # the campaign seed composes with kernel/ASLR/skid seeding instead
+        # of using an ad-hoc generator.
+        self.rng = RngPool(seed).stream("fault-campaign")
         self._sites = all_fault_sites()
+        self._profile_times: Optional[List[float]] = None
+        self._profile_main_instructions: Optional[List[int]] = None
+        self._profile_stdout: Optional[str] = None
 
     def _fresh_runtime(self) -> Parallaft:
         return Parallaft(self.program, config=self.config_factory(),
@@ -56,7 +77,12 @@ class FaultInjector:
     # -- profile ----------------------------------------------------------
 
     def profile(self) -> Tuple[List[float], str]:
-        """Fault-free run: per-segment checker times + reference output."""
+        """Fault-free run: per-segment checker times + reference output.
+
+        Also caches per-segment main instruction counts, which main-side
+        injection uses to convert a drawn progress fraction into an
+        instruction threshold.
+        """
         runtime = self._fresh_runtime()
         stats = runtime.run()
         if stats.error_detected:
@@ -66,6 +92,10 @@ class FaultInjector:
         for segment in runtime.segments:
             checker = segment.checker
             times.append(checker.user_time if checker is not None else 0.0)
+        self._profile_times = times
+        self._profile_main_instructions = [
+            segment.main_instructions for segment in runtime.segments]
+        self._profile_stdout = stats.stdout
         return times, stats.stdout
 
     # -- single injection ----------------------------------------------------
@@ -73,26 +103,57 @@ class FaultInjector:
     def inject_once(self, segment_index: int, inject_time: float,
                     site: Tuple[str, int, int],
                     reference_output: str) -> Optional[InjectionResult]:
-        """Run the program, flipping one register bit in one checker.
+        """Legacy entry point: flip one register bit in one checker at
+        ``inject_time`` seconds of its execution (the paper's campaign)."""
+        return self.inject_site(segment_index, inject_time,
+                                FaultSite.from_legacy(site),
+                                reference_output)
 
-        Returns None when the injection missed (checker finished before the
-        injection point), mirroring the paper's discarded injections.
+    def inject_site(self, segment_index: int, when: float, site: FaultSite,
+                    reference_output: str) -> Optional[InjectionResult]:
+        """Run the program once, applying ``site`` during segment
+        ``segment_index``.
+
+        ``when`` is target-relative: seconds of checker execution for
+        checker faults, a fraction of the segment's recorded instructions
+        for main faults.  Returns None when the injection missed (the
+        paper discards and retries these; campaigns also count them).
         """
+        if site.target == TARGET_MAIN \
+                and self._profile_main_instructions is None:
+            self.profile()
         runtime = self._fresh_runtime()
         fired = [False]
-        file_name, reg_index, bit = site
 
-        def hook(proc, role: str) -> None:
-            if fired[0] or role != "checker":
-                return
-            if segment_index >= len(runtime.segments):
-                return
-            segment = runtime.segments[segment_index]
-            if segment.checker is not proc:
-                return
-            if proc.user_time >= inject_time:
-                proc.cpu.regs.flip_bit(file_name, reg_index, bit)
-                fired[0] = True
+        if site.target == TARGET_MAIN:
+            instr = self._profile_main_instructions
+            if segment_index >= len(instr):
+                return None
+            threshold = when * instr[segment_index]
+
+            def hook(proc, role: str) -> None:
+                if fired[0] or role != "main":
+                    return
+                segment = runtime.current
+                if segment is None or segment.index != segment_index:
+                    return
+                progress = (runtime._instr_reading(proc)
+                            - segment.start_instructions)
+                if progress >= threshold:
+                    fired[0] = site.apply(
+                        proc, runtime.dirty_tracker.dirty_vpns(proc))
+        else:
+            def hook(proc, role: str) -> None:
+                if fired[0] or role != "checker":
+                    return
+                if segment_index >= len(runtime.segments):
+                    return
+                segment = runtime.segments[segment_index]
+                if segment.checker is not proc:
+                    return
+                if proc.user_time >= when:
+                    fired[0] = site.apply(
+                        proc, runtime.dirty_tracker.dirty_vpns(proc))
 
         runtime.quantum_hooks.append(hook)
         stats = runtime.run()
@@ -100,10 +161,17 @@ class FaultInjector:
             return None
         outcome = self._classify(stats, reference_output)
         return InjectionResult(
-            outcome=outcome, register_file=file_name,
-            register_index=reg_index, bit=bit,
-            segment_index=segment_index, inject_time=inject_time,
-            detail=stats.errors[0].detail if stats.errors else "")
+            outcome=outcome,
+            register_file=(site.register_file
+                           if site.kind == KIND_REGISTER else "mem"),
+            register_index=(site.register_index
+                            if site.kind == KIND_REGISTER else site.page_rank),
+            bit=site.bit,
+            segment_index=segment_index, inject_time=when,
+            detail=stats.errors[0].detail if stats.errors else "",
+            target=site.target, site_kind=site.kind,
+            rolled_back=stats.recovery_rollbacks > 0,
+            output_matched=stats.stdout == reference_output)
 
     @staticmethod
     def _classify(stats: RunStats, reference_output: str) -> Outcome:
@@ -111,27 +179,55 @@ class FaultInjector:
             kind = stats.errors[0].kind
             return ERROR_KIND_TO_OUTCOME.get(kind, Outcome.DETECTED)
         if stats.stdout != reference_output:
-            # Should be unreachable: faults are injected into checkers, so
-            # the main's output is never corrupted; kept as a tripwire.
+            # Tripwire: no error was reported yet the main's output is
+            # corrupt.  For checker-side campaigns this is unreachable;
+            # for main-side campaigns it means detection failed silently.
             return Outcome.DETECTED
+        if stats.recovery_rollbacks > 0 or stats.checker_retries > 0:
+            # The run survived a detected fault: a rollback re-executed the
+            # corrupted region, or a checker retry absorbed it — and the
+            # output above already proved equal to the reference.
+            return Outcome.RECOVERED
         return Outcome.BENIGN
 
     # -- campaign ----------------------------------------------------------------
 
+    def _draw_site(self, target: str,
+                   site_kinds: Tuple[str, ...]) -> FaultSite:
+        kind = site_kinds[0] if len(site_kinds) == 1 \
+            else self.rng.choice(list(site_kinds))
+        if kind == KIND_MEMORY:
+            return FaultSite.memory(self.rng.randrange(1 << 16),
+                                    self.rng.randrange(1 << 20),
+                                    target=target)
+        file_name, index, bit = self.rng.choice(self._sites)
+        return FaultSite.register(file_name, index, bit, target=target)
+
     def run_campaign(self, injections_per_segment: int = 5,
                      max_attempts_per_injection: int = 8,
                      benchmark_name: str = "workload",
-                     max_segments: Optional[int] = None) -> CampaignResult:
-        """The paper's campaign: per segment, ``injections_per_segment``
-        injections at uniform points in [0, 1.1 t).
+                     max_segments: Optional[int] = None,
+                     target: str = TARGET_CHECKER,
+                     site_kinds: Tuple[str, ...] = (KIND_REGISTER,),
+                     verify_recovered_output: bool = False) -> CampaignResult:
+        """The paper's campaign, generalized: per segment,
+        ``injections_per_segment`` injections into ``target`` at uniform
+        points, drawing each site from ``site_kinds``.
 
         ``max_segments`` samples that many segments evenly across the run
         instead of injecting into every segment (each injection costs a
         full program run, exactly as in the paper's methodology).
+        ``verify_recovered_output`` asserts that every RECOVERED run's
+        end-of-run stdout equals the fault-free reference — the recovery
+        campaign's correctness oracle.
         """
         times, reference = self.profile()
         campaign = CampaignResult(benchmark=benchmark_name)
-        indices = [i for i, t in enumerate(times) if t > 0]
+        if target == TARGET_MAIN:
+            weights = self._profile_main_instructions
+        else:
+            weights = times
+        indices = [i for i, w in enumerate(weights) if w > 0]
         if max_segments is not None and len(indices) > max_segments:
             stride = len(indices) / max_segments
             indices = [indices[int(i * stride)] for i in range(max_segments)]
@@ -140,12 +236,28 @@ class FaultInjector:
             for _ in range(injections_per_segment):
                 result = None
                 for _attempt in range(max_attempts_per_injection):
-                    inject_time = self.rng.uniform(0, 1.1 * t_profile)
-                    site = self.rng.choice(self._sites)
-                    result = self.inject_once(segment_index, inject_time,
-                                              site, reference)
+                    site = self._draw_site(target, tuple(site_kinds))
+                    if target == TARGET_MAIN:
+                        # Stay clear of the boundary so the flip lands
+                        # inside the recorded segment despite counter
+                        # overcount noise.
+                        when = self.rng.uniform(0.0, 0.95)
+                    else:
+                        when = self.rng.uniform(0, 1.1 * t_profile)
+                    result = self.inject_site(segment_index, when, site,
+                                              reference)
                     if result is not None:
                         break
-                if result is not None:
-                    campaign.injections.append(result)
+                if result is None:
+                    # The paper discards these; counting them keeps the
+                    # campaign report summing to what was planned.
+                    campaign.missed += 1
+                    continue
+                if (verify_recovered_output
+                        and result.outcome == Outcome.RECOVERED
+                        and not result.output_matched):
+                    raise AssertionError(
+                        f"recovered run diverged from the fault-free "
+                        f"reference (segment {segment_index})")
+                campaign.injections.append(result)
         return campaign

@@ -1,4 +1,4 @@
-"""Fault-injection outcome classification (paper §5.6).
+"""Fault-injection outcome classification (paper §5.6, extended).
 
 * **Detected** — Parallaft's segment-end comparison (or syscall/data
   comparison) flagged the fault.
@@ -7,6 +7,11 @@
 * **Timeout** — the checker exceeded the 1.1x instruction budget, i.e.
   control flow was corrupted so it never reached the end point (also
   detected).
+* **Recovered** — extension beyond the paper (Table 2 future work): the
+  fault was detected *and survived* — a checker retry absorbed it or the
+  main was rolled back to the last verified checkpoint and re-executed —
+  and the program finished with output identical to the fault-free
+  reference.
 * **Benign** — the fault had no observable effect: the program finished
   with correct output and all segment checks passed.
 """
@@ -22,12 +27,20 @@ class Outcome(enum.Enum):
     DETECTED = "detected"
     EXCEPTION = "exception"
     TIMEOUT = "timeout"
+    RECOVERED = "recovered"
     BENIGN = "benign"
 
     @property
     def is_detected(self) -> bool:
-        """Every class except benign counts as a successful detection."""
+        """Every class except benign counts as a successful detection
+        (a recovered fault was detected first, then survived)."""
         return self is not Outcome.BENIGN
+
+    @property
+    def is_survived(self) -> bool:
+        """The application finished with correct output: either the fault
+        never mattered (benign) or recovery undid it."""
+        return self in (Outcome.BENIGN, Outcome.RECOVERED)
 
 
 #: Map runtime error kinds to injection outcomes.
@@ -37,6 +50,9 @@ ERROR_KIND_TO_OUTCOME = {
     "exec_point_overrun": Outcome.DETECTED,
     "exception": Outcome.EXCEPTION,
     "timeout": Outcome.TIMEOUT,
+    # Recovery gave up: the re-executed main blew its watchdog budget.
+    # The fault was still detected, just not survived.
+    "recovery_watchdog": Outcome.TIMEOUT,
 }
 
 
@@ -45,12 +61,18 @@ class InjectionResult:
     """One fault injection and what happened."""
 
     outcome: Outcome
-    register_file: str
+    register_file: str          # "mem" for memory faults
     register_index: int
     bit: int
     segment_index: int
     inject_time: float
     detail: str = ""
+    target: str = "checker"     # which copy was hit: "main" | "checker"
+    site_kind: str = "register"
+    #: The run rolled the main back at least once (recovery engaged).
+    rolled_back: bool = False
+    #: Final stdout matched the fault-free reference.
+    output_matched: bool = True
 
 
 @dataclass
@@ -59,6 +81,10 @@ class CampaignResult:
 
     benchmark: str
     injections: List[InjectionResult] = field(default_factory=list)
+    #: Injections that never fired within ``max_attempts_per_injection``
+    #: attempts (the paper discards these; we count them so campaigns
+    #: cannot silently lose planned injections).
+    missed: int = 0
 
     def count(self, outcome: Outcome) -> int:
         return sum(1 for r in self.injections if r.outcome == outcome)
@@ -66,6 +92,11 @@ class CampaignResult:
     @property
     def total(self) -> int:
         return len(self.injections)
+
+    @property
+    def planned(self) -> int:
+        """Everything the campaign tried: landed injections + misses."""
+        return self.total + self.missed
 
     def fraction(self, outcome: Outcome) -> float:
         return self.count(outcome) / self.total if self.total else 0.0
@@ -76,6 +107,16 @@ class CampaignResult:
         faults detected."""
         return sum(1 for r in self.injections
                    if r.outcome.is_detected) / self.total if self.total else 0.0
+
+    @property
+    def recovered_fraction(self) -> float:
+        return self.fraction(Outcome.RECOVERED)
+
+    @property
+    def survived_fraction(self) -> float:
+        """Runs that ended with correct output (benign + recovered)."""
+        return sum(1 for r in self.injections
+                   if r.outcome.is_survived) / self.total if self.total else 0.0
 
     def summary(self) -> Dict[str, float]:
         return {outcome.value: self.fraction(outcome) for outcome in Outcome}

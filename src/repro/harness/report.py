@@ -87,17 +87,25 @@ def render_period_sweep(sweep: Dict[str, List[PeriodSweepPoint]]) -> str:
 
 
 def render_injection(campaigns: Dict[str, CampaignResult]) -> str:
-    """Figure 10-style table."""
+    """Figure 10-style table.
+
+    Columns are generated from the :class:`Outcome` enum so new outcome
+    classes (e.g. RECOVERED) appear automatically; the trailing ``missed``
+    column accounts for injections that never fired, so the table always
+    adds up to what the campaign planned.
+    """
     rows = []
     for name, campaign in sorted(campaigns.items()):
         rows.append((name, campaign.total,
                      *(f"{100 * campaign.fraction(o):.1f}%"
-                       for o in Outcome)))
+                       for o in Outcome),
+                     campaign.missed))
     total = sum(c.total for c in campaigns.values())
     if total:
         overall = tuple(
             f"{100 * sum(c.count(o) for c in campaigns.values()) / total:.1f}%"
             for o in Outcome)
-        rows.append(("overall", total, *overall))
-    return _table(("benchmark", "n", "detected", "exception", "timeout",
-                   "benign"), rows)
+        rows.append(("overall", total, *overall,
+                     sum(c.missed for c in campaigns.values())))
+    return _table(("benchmark", "n", *(o.value for o in Outcome), "missed"),
+                  rows)

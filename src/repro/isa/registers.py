@@ -15,6 +15,7 @@ the union of these three files, so the spec also enumerates every
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Tuple
 
 NUM_GPR = 16
@@ -60,6 +61,28 @@ def parse_register(token: str) -> Tuple[str, int]:
     raise ValueError(f"not a register: {token!r}")
 
 
+@dataclass(frozen=True)
+class RegisterSite:
+    """One (register file, register, bit) fault-injection site.
+
+    The structured counterpart of the ``(file, index, bit)`` tuples that
+    :func:`all_fault_sites` enumerates; :class:`repro.faults.sites.FaultSite`
+    generalizes it with a target process and memory sites.
+    """
+
+    file: str    # "gpr" | "fpr" | "vec"
+    index: int
+    bit: int
+
+    def as_tuple(self) -> Tuple[str, int, int]:
+        return (self.file, self.index, self.bit)
+
+    def __str__(self) -> str:
+        name = gpr_name(self.index) if self.file == "gpr" \
+            else f"{self.file[0]}{self.index}"
+        return f"{name} bit {self.bit}"
+
+
 def all_fault_sites() -> List[Tuple[str, int, int]]:
     """Enumerate every (file, register index, bit index) fault-injection site."""
     sites = []
@@ -70,3 +93,8 @@ def all_fault_sites() -> List[Tuple[str, int, int]]:
     for index in range(NUM_VEC):
         sites.extend(("vec", index, bit) for bit in range(VEC_BITS))
     return sites
+
+
+def all_register_sites() -> List[RegisterSite]:
+    """Structured version of :func:`all_fault_sites`."""
+    return [RegisterSite(*site) for site in all_fault_sites()]

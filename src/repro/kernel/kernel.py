@@ -72,7 +72,7 @@ class Kernel:
         #: Per-run statistics.
         self.stats: Dict[str, int] = {
             "forks": 0, "syscalls": 0, "signals_delivered": 0,
-            "trace_stops": 0,
+            "trace_stops": 0, "rollbacks": 0,
         }
 
     # -- time ---------------------------------------------------------------
@@ -154,6 +154,24 @@ class Kernel:
 
     def live_processes(self) -> List[Process]:
         return [p for p in self.processes.values() if p.alive]
+
+    def rollback_to_checkpoint(self, old_main: Process,
+                               checkpoint: Process) -> Process:
+        """Checkpoint-restore: replace ``old_main`` with ``checkpoint``.
+
+        The checkpoint is a paused COW fork taken at a verified boundary;
+        restoring it is just unpausing that fork while the corrupted
+        process is killed and reaped (rr-style user-space restore — no
+        state copying happens here, the fork already holds it).  The
+        caller re-wires roles, cores and tracer bookkeeping.
+        """
+        old_main.tracer = None          # no exit/ptrace hooks for the corpse
+        if old_main.alive:
+            self.exit_process(old_main, 128 + abi.SIGKILL)
+        self.reap(old_main)
+        checkpoint.state = ProcessState.RUNNING
+        self.stats["rollbacks"] += 1
+        return checkpoint
 
     # -- tracing ---------------------------------------------------------------------
 

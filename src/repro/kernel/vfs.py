@@ -52,6 +52,22 @@ class Console(FileObject):
     def text(self) -> str:
         return self.buffer.decode("utf-8", errors="replace")
 
+    def mark(self) -> int:
+        """Current buffer position, for later :meth:`truncate`."""
+        return len(self.buffer)
+
+    def truncate(self, mark: int) -> int:
+        """Discard everything written after ``mark``; returns bytes dropped.
+
+        Used by checkpoint rollback: output a discarded execution produced
+        must not escape the sphere of replication, so the console models a
+        commit-on-verify buffer.
+        """
+        dropped = len(self.buffer) - mark
+        if dropped > 0:
+            del self.buffer[mark:]
+        return max(dropped, 0)
+
 
 class NullSink(FileObject):
     """Console stand-in for checker processes whose output must not reach

@@ -1,0 +1,5 @@
+"""Checkpoint-rollback error recovery (Table 2 future work, implemented)."""
+
+from repro.recovery.manager import RecoveryManager
+
+__all__ = ["RecoveryManager"]

@@ -1,0 +1,240 @@
+"""Checkpoint-rollback error recovery (extension beyond the paper).
+
+Parallaft's prototype *detects* faults and stops; its Table 2 lists error
+recovery as future work.  This subsystem makes the runtime *survive* faults
+in the main process, using machinery the substrate already pays for:
+
+* Every segment start retains a pristine COW fork of the main — the
+  ``recovery_checkpoint`` introduced for checker retries.  Once every
+  earlier segment has been verified, that fork *is* the state of the main
+  at the last verified boundary.
+* When a segment check fails, the runtime first re-checks with a second
+  checker forked from that retained checkpoint (diagnosis: a transient
+  fault in the *checker* disappears on the re-check; a fault in the *main*
+  persists, because the main's recorded log and end state are corrupted).
+* If the re-check fails too, the main is implicated.  The corrupted main
+  and every segment at or after the failure are discarded, the retained
+  checkpoint is promoted to be the new main (rr-style user-space restore:
+  the fork already holds the state, restoring is unpausing it), console
+  output produced by the discarded execution is truncated — the console
+  models a commit-on-verify buffer at the sphere-of-replication boundary —
+  and execution resumes from the verified state.
+
+Escalation keeps recovery bounded:
+
+* a per-run rollback budget (``max_rollbacks``),
+* a cap on consecutive re-executions of the same region
+  (``max_segment_reexecutions``),
+* an exponential shrink of the slicing period while rollbacks repeat
+  (``slicing_period / 2**streak``), halving the window a recurring fault
+  can corrupt before the next verified boundary,
+* a watchdog instruction budget on the re-executed segment
+  (``recovery_watchdog_scale`` × the original segment's instructions), so
+  a fault that corrupts recovery itself cannot hang the run.
+
+Soundness: a fault in the main during segment *k* corrupts *k*'s log and
+end checkpoint together, so checkers of later segments replay
+corrupted-start → corrupted-end and pass — the divergence is detected
+exactly at *k*'s check, and *k*'s start state is still clean.  Re-executed
+output is only observable after truncation to the segment-start mark, so
+an end-of-run stdout equal to the fault-free reference certifies the
+recovery (asserted by the recovery campaign mode in ``repro.faults``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.segment import Segment, SegmentStatus
+from repro.kernel.process import Process, ProcessState
+
+if TYPE_CHECKING:
+    from repro.core.runtime import Parallaft
+
+
+class RecoveryManager:
+    """Owns rollback policy and bookkeeping for one Parallaft run."""
+
+    def __init__(self, rt: "Parallaft"):
+        self.rt = rt
+        self.config = rt.config
+        self.stats = rt.stats
+        #: Rollbacks performed so far (bounded by ``max_rollbacks``).
+        self.rollbacks = 0
+        #: Consecutive rollbacks without a verified segment in between.
+        self.rollback_streak = 0
+        #: Highest segment index discarded by the last rollback; verifying
+        #: any *newer* segment proves forward progress and resets the streak.
+        self._last_rollback_index = -1
+        self._watchdog_base = 0
+        self._watchdog_budget: Optional[int] = None
+
+    # ------------------------------------------------------- escalation state
+
+    def effective_slicing_period(self) -> float:
+        """Slicing period with the exponential post-rollback shrink."""
+        shrink = min(self.rollback_streak, self.config.recovery_shrink_limit)
+        return self.config.slicing_period / (2 ** shrink)
+
+    def on_segment_verified(self, segment: Segment) -> None:
+        """A segment checked out.  If it is newer than everything the last
+        rollback discarded, the re-execution made verified progress."""
+        if segment.index > self._last_rollback_index:
+            self.rollback_streak = 0
+
+    def note_boundary(self) -> None:
+        """The main reached a slicing boundary: the re-executed region is
+        fully recorded again, so the watchdog disarms."""
+        self._watchdog_budget = None
+
+    def check_watchdog(self, main: Process) -> None:
+        """Abort recovery if the re-executed main overran its budget."""
+        if self._watchdog_budget is None:
+            return
+        progress = self.rt._instr_reading(main) - self._watchdog_base
+        if progress <= self._watchdog_budget:
+            return
+        budget = self._watchdog_budget
+        self._watchdog_budget = None
+        self.rt._report_error(
+            "recovery_watchdog", self.rt.current,
+            f"re-executed main overran its {budget}-instruction watchdog")
+
+    # ------------------------------------------------------------ the rollback
+
+    def on_check_failed(self, segment: Segment, kind: str,
+                        detail: str = "") -> bool:
+        """A segment check failed *persistently* (the diagnostic re-check
+        already ran).  Roll back if policy allows; returns True when the
+        error was absorbed."""
+        checkpoint = segment.recovery_checkpoint
+        if (self.rt._terminated
+                or kind == "recovery_watchdog"
+                or checkpoint is None
+                or checkpoint.state == ProcessState.DEAD
+                or self.rollbacks >= self.config.max_rollbacks
+                or self.rollback_streak
+                >= self.config.max_segment_reexecutions):
+            return False
+        self._rollback(segment)
+        return True
+
+    def _rollback(self, segment: Segment) -> None:
+        """Discard the timeline from ``segment``'s start onward and resume
+        the main from the retained segment-start checkpoint."""
+        rt = self.rt
+        kernel = rt.kernel
+        old_main = rt.main
+        self.rollbacks += 1
+        self.rollback_streak += 1
+        self.stats.recovery_rollbacks += 1
+
+        # Everything the main executed past the verified boundary is lost.
+        wasted = max(0.0, old_main.user_cycles - segment.start_cycles)
+        old_core = old_main.core
+
+        for other in rt.segments:
+            if other.index < segment.index:
+                continue
+            if other.status == SegmentStatus.ROLLED_BACK:
+                continue
+            wasted += self._discard(other, promote=(other is segment))
+        self._last_rollback_index = len(rt.segments) - 1
+        self.stats.recovery_wasted_cycles += wasted
+
+        # Roll output back: nothing the discarded execution printed may
+        # escape the sphere of replication.
+        kernel.console.truncate(segment.console_mark)
+        kernel.stderr_console.truncate(segment.stderr_mark)
+
+        # Replace the corrupted main with the verified checkpoint.
+        new_main = segment.recovery_checkpoint
+        segment.recovery_checkpoint = None
+        rt.roles.pop(old_main.pid, None)
+        spawn_time = old_main.spawn_time
+        kernel.rollback_to_checkpoint(old_main, new_main)
+        rt.executor.unassign(old_main)
+        new_main.spawn_time = spawn_time  # wall time spans the whole run
+        rt.main = new_main
+        rt.roles[new_main.pid] = "main"
+
+        core = old_core if old_core is not None \
+            and old_core.occupant is None else None
+        if core is None:
+            core = (rt.executor.free_core("big")
+                    or rt.executor.free_core("little"))
+        rt.executor.assign(new_main, core)
+        new_main.ready_time = max(new_main.ready_time,
+                                  rt.executor.current_time)
+        # Restoring costs what materializing the checkpoint's COW fork
+        # costs (rr-style restore is an unpause plus page-table work).
+        rt.executor.charge(
+            new_main, kernel.costs.fork_cycles(new_main.mem.mapped_pages))
+
+        # Reset coordinator state that referred to the discarded timeline.
+        rt.current = None
+        rt._pending_syscall = None
+        rt._pending_mmap_split = False
+        rt._main_stalled_on_cap = False
+        rt._main_stalled_for_containment = False
+        rt.sched.main_done = False
+
+        # Arm the watchdog: the re-execution must reach the next boundary
+        # within a multiple of the work the original recording needed.
+        self._watchdog_base = rt._instr_reading(new_main)
+        self._watchdog_budget = (
+            int(max(segment.main_instructions, 1024)
+                * self.config.recovery_watchdog_scale) + 1024)
+
+        # Freed cores may unblock queued checkers of earlier segments.
+        sched = rt.sched
+        while sched.pending and sched._try_place(sched.pending[0]):
+            sched.pending.pop(0)
+
+        rt._start_segment()
+
+    def _discard(self, segment: Segment, promote: bool) -> float:
+        """Tear one discarded segment down; returns its wasted cycles.
+
+        ``promote`` keeps the segment's recovery checkpoint alive — it
+        becomes the new main.  Safe on already-retired (CHECKED) segments:
+        their verification certified a timeline that no longer exists, so
+        only their status flips (resources were already reaped).
+        """
+        rt = self.rt
+        kernel = rt.kernel
+        sched = rt.sched
+        wasted = 0.0
+        if segment in sched.pending:
+            sched.pending.remove(segment)
+        if segment in sched.running:
+            sched.running.remove(segment)
+
+        checker = segment.checker
+        if checker is not None:
+            wasted += checker.user_cycles
+            rt.segment_of_checker.pop(checker.pid, None)
+            rt.roles.pop(checker.pid, None)
+            rt._stalled_checkers.discard(checker.pid)
+            # Detach before killing so exit/ptrace hooks never fire for a
+            # process we are deliberately discarding.
+            checker.tracer = None
+            if checker.alive:
+                kernel.exit_process(checker, 1)
+            rt.executor.unassign(checker)
+            kernel.reap(checker)
+            segment.checker = None
+
+        if segment.end_checkpoint is not None and not segment.end_is_main:
+            rt.roles.pop(segment.end_checkpoint.pid, None)
+            kernel.reap(segment.end_checkpoint)
+        segment.end_checkpoint = None
+
+        if segment.recovery_checkpoint is not None and not promote:
+            rt.roles.pop(segment.recovery_checkpoint.pid, None)
+            kernel.reap(segment.recovery_checkpoint)
+            segment.recovery_checkpoint = None
+
+        segment.replayer = None
+        segment.status = SegmentStatus.ROLLED_BACK
+        return wasted

@@ -30,14 +30,24 @@ def make_injector(period=10**14, seed=0):
 class TestOutcomeMapping:
     def test_every_error_kind_maps(self):
         for kind in ("state_mismatch", "syscall_divergence",
-                     "exec_point_overrun", "exception", "timeout"):
+                     "exec_point_overrun", "exception", "timeout",
+                     "recovery_watchdog"):
             assert kind in ERROR_KIND_TO_OUTCOME
+
+    def test_recovery_watchdog_counts_as_timeout(self):
+        assert ERROR_KIND_TO_OUTCOME["recovery_watchdog"] is Outcome.TIMEOUT
 
     def test_detected_flags(self):
         assert Outcome.DETECTED.is_detected
         assert Outcome.EXCEPTION.is_detected
         assert Outcome.TIMEOUT.is_detected
         assert not Outcome.BENIGN.is_detected
+
+    def test_recovered_is_detected_and_survived(self):
+        assert Outcome.RECOVERED.is_detected
+        assert Outcome.RECOVERED.is_survived
+        assert Outcome.BENIGN.is_survived
+        assert not Outcome.DETECTED.is_survived
 
     def test_campaign_fractions(self):
         campaign = CampaignResult("x")
@@ -50,10 +60,54 @@ class TestOutcomeMapping:
         assert campaign.detected_fraction == pytest.approx(0.75)
         assert sum(campaign.summary().values()) == pytest.approx(1.0)
 
+    def test_recovered_and_missed_accounting(self):
+        campaign = CampaignResult("x", missed=2)
+        for outcome in (Outcome.RECOVERED, Outcome.RECOVERED,
+                        Outcome.BENIGN, Outcome.DETECTED):
+            campaign.injections.append(InjectionResult(
+                outcome, "gpr", 0, 0, 0, 0.0))
+        assert campaign.total == 4
+        assert campaign.planned == 6
+        assert campaign.recovered_fraction == pytest.approx(0.5)
+        assert campaign.survived_fraction == pytest.approx(0.75)
+        # RECOVERED runs were detected (then repaired), so they count
+        # toward coverage too.
+        assert campaign.detected_fraction == pytest.approx(0.75)
+
     def test_empty_campaign(self):
         campaign = CampaignResult("x")
         assert campaign.detected_fraction == 0.0
+        assert campaign.recovered_fraction == 0.0
         assert campaign.fraction(Outcome.BENIGN) == 0.0
+
+
+class TestClassifier:
+    def _stats(self, stdout, rollbacks=0, retries=0):
+        from repro.core.stats import RunStats
+        stats = RunStats()
+        stats.stdout = stdout
+        stats.recovery_rollbacks = rollbacks
+        stats.checker_retries = retries
+        return stats
+
+    def test_silent_output_corruption_is_detected(self):
+        # Tripwire: no error reported, but the output is wrong.
+        outcome = FaultInjector._classify(self._stats("corrupt"), "good")
+        assert outcome is Outcome.DETECTED
+
+    def test_rollback_with_matching_output_is_recovered(self):
+        outcome = FaultInjector._classify(
+            self._stats("good", rollbacks=1), "good")
+        assert outcome is Outcome.RECOVERED
+
+    def test_checker_retry_with_matching_output_is_recovered(self):
+        outcome = FaultInjector._classify(
+            self._stats("good", retries=1), "good")
+        assert outcome is Outcome.RECOVERED
+
+    def test_clean_run_is_benign(self):
+        outcome = FaultInjector._classify(self._stats("good"), "good")
+        assert outcome is Outcome.BENIGN
 
 
 class TestInjectorMechanics:

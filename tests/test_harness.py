@@ -142,8 +142,9 @@ class TestFigureDrivers:
 
     def test_injection_summary_empty(self):
         from repro.harness.figures import injection_summary
+        from repro.faults.outcomes import Outcome
         assert injection_summary({}) == {
-            "detected": 0.0, "exception": 0.0, "timeout": 0.0, "benign": 0.0}
+            outcome.value: 0.0 for outcome in Outcome}
 
     def test_table1_static_rows_present(self):
         from repro.harness.figures import TABLE1_STATIC_ROWS
