@@ -8,11 +8,20 @@ main back to the last verified checkpoint, and re-execute — finishing
 with output byte-identical to a fault-free run.
 
     python examples/recovery_demo.py
+    python examples/recovery_demo.py --trace /tmp/recovery_trace.json
+
+``--trace`` exports the recovery run's event trace as Chrome trace_event
+JSON (load it in Perfetto / about://tracing) and prints the tail of the
+text timeline — rollback, console truncation and re-execution included.
 """
+
+import argparse
 
 from repro import Parallaft, ParallaftConfig, compile_source
 from repro.faults import FaultInjector, Outcome, TARGET_MAIN
+from repro.harness.report import render_timeline
 from repro.sim import apple_m2
+from repro.trace import InvariantChecker
 
 WORKLOAD = """
 global grid[256];
@@ -51,10 +60,15 @@ def run_with_main_fault(recovery):
             fired[0] += 1
 
     runtime.quantum_hooks.append(flip_main_register)
-    return runtime.run()
+    return runtime.run(), runtime
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export the recovery run's event trace as "
+                             "Chrome trace_event JSON")
+    args = parser.parse_args(argv)
     reference = Parallaft(compile_source(WORKLOAD),
                           config=make_config(recovery=False),
                           platform=apple_m2()).run()
@@ -63,13 +77,13 @@ def main():
           f"{len(reference.stdout.splitlines())} lines")
 
     print("\nsame workload, one bit flipped in the MAIN, recovery off:")
-    detected = run_with_main_fault(recovery=False)
+    detected, _ = run_with_main_fault(recovery=False)
     error = detected.errors[0]
     print(f"  detected: {error.kind} in segment {error.segment_index} "
           "-> run stops (paper behaviour)")
 
     print("\nsame fault, recovery on:")
-    stats = run_with_main_fault(recovery=True)
+    stats, runtime = run_with_main_fault(recovery=True)
     dump = stats.to_dict()
     print(f"  diagnostic re-checks : {dump['counter.recovery.retries']}")
     print(f"  rollbacks            : {dump['counter.recovery.rollbacks']}")
@@ -80,6 +94,13 @@ def main():
     print(f"  output == reference  : {matched}")
     assert matched and not stats.errors
     assert dump["counter.recovery.rollbacks"] >= 1
+
+    if args.trace:
+        InvariantChecker(recovery=True).assert_ok(runtime.trace)
+        runtime.trace.write_chrome_trace(args.trace)
+        print(f"\ntrace: {len(runtime.trace)} events -> {args.trace} "
+              "(invariants OK; load in Perfetto)")
+        print(render_timeline(runtime.trace, last=15))
 
     print("\nmini campaign (register+memory flips in the main, "
           "recovery on vs off):")

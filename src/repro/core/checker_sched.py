@@ -23,7 +23,8 @@ from repro.core.segment import Segment, SegmentStatus
 from repro.core.stats import RunStats
 from repro.kernel.process import Process, ProcessState
 from repro.sim.cores import Core
-from repro.sim.executor import Executor
+from repro.sim.executor import Executor, core_label
+from repro.trace import events as tev
 
 #: Cycles charged for migrating a checker between cores (context + cache
 #: warmup is modelled separately by the LLC contention term).
@@ -75,6 +76,10 @@ class CheckerScheduler:
         segment.check_started_time = self.executor.current_time
         segment.checker_user_cycles_at_start = checker.user_cycles
         self.running.append(segment)
+        trace = self.executor.trace
+        if trace.enabled:
+            trace.emit(tev.CHECKER_PLACE, pid=checker.pid, role="checker",
+                       core=core_label(core), segment=segment.index)
 
     def _migrate_oldest_to_big(self) -> bool:
         """Free a little core by moving the oldest checker to a big core
@@ -97,6 +102,10 @@ class CheckerScheduler:
         self.executor.charge(checker, MIGRATION_COST_CYCLES)
         segment.checker_was_migrated = True
         self.stats.checker_migrations += 1
+        trace = self.executor.trace
+        if trace.enabled:
+            trace.emit(tev.CHECKER_MIGRATE, pid=checker.pid, role="checker",
+                       core=core_label(core), segment=segment.index)
 
     # -- completion ----------------------------------------------------------------
 

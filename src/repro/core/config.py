@@ -129,6 +129,14 @@ class ParallaftConfig:
     mask_vdso: bool = True
     mask_rseq: bool = True
 
+    #: Structured event tracing (``repro.trace``): every lifecycle event
+    #: lands in a bounded ring buffer, exportable as Chrome trace_event
+    #: JSON and replayable through the offline invariant checker.
+    enable_trace: bool = True
+    #: Ring-buffer capacity in events; older events are dropped (and
+    #: counted) once full, so tracing cost is O(1) in run length.
+    trace_capacity: int = 65536
+
     def validate(self) -> None:
         if self.slicing_period <= 0:
             raise RuntimeConfigError("slicing_period must be positive")
@@ -161,6 +169,8 @@ class ParallaftConfig:
         if self.enable_recovery and not self.compare_state:
             raise RuntimeConfigError(
                 "recovery requires state comparison (compare_state)")
+        if self.trace_capacity < 1:
+            raise RuntimeConfigError("trace_capacity must be >= 1")
 
     @property
     def retains_recovery_checkpoint(self) -> bool:

@@ -47,8 +47,10 @@ from repro.isa.program import Program
 from repro.kernel import Kernel, SyscallAction, Tracer
 from repro.kernel.process import Process, ProcessState
 from repro.recovery.manager import RecoveryManager
-from repro.sim.executor import Executor
+from repro.sim.executor import Executor, core_label
 from repro.sim.platform import PlatformConfig, apple_m2
+from repro.trace import TraceBuffer
+from repro.trace import events as tev
 
 
 class Parallaft(Tracer):
@@ -74,6 +76,13 @@ class Parallaft(Tracer):
         self.kernel.counters.skid_probability = self.platform.skid_probability
         self.executor = executor or Executor(self.kernel, self.platform,
                                              quantum=quantum)
+        #: Structured event trace; shared with the kernel and executor so
+        #: every layer emits into one timeline.
+        self.trace = TraceBuffer(capacity=self.config.trace_capacity,
+                                 enabled=self.config.enable_trace,
+                                 clock=lambda: self.executor.current_time)
+        self.executor.trace = self.trace
+        self.kernel.trace = self.trace
         for path, data in (files or {}).items():
             self.kernel.vfs.register(path, data)
 
@@ -145,6 +154,22 @@ class Parallaft(Tracer):
         self._finalize_stats()
         return self.stats
 
+    # ----------------------------------------------------------------- tracing
+
+    def _emit(self, kind: str, proc: Optional[Process] = None,
+              segment: Optional[int] = None, **payload) -> None:
+        """Emit one trace event, resolving pid/role/core from ``proc``."""
+        if not self.trace.enabled:
+            return
+        pid = role = core = None
+        if proc is not None:
+            pid = proc.pid
+            role = self.roles.get(proc.pid)
+            if proc.core is not None:
+                core = core_label(proc.core)
+        self.trace.emit(kind, pid=pid, role=role, core=core,
+                        segment=segment, **payload)
+
     # --------------------------------------------------------- segment machinery
 
     def _instr_reading(self, proc: Process) -> int:
@@ -171,6 +196,8 @@ class Parallaft(Tracer):
         self.segments.append(segment)
         self.current = segment
         self.stats.checkpoint_count += 1
+        self._emit(tev.SEGMENT_START, proc=main, segment=segment.index,
+                   checker_pid=checker.pid)
         # Output the segment produces is only committed once it verifies;
         # a rollback truncates the consoles back to these marks.
         segment.console_mark = self.kernel.console.mark()
@@ -224,6 +251,9 @@ class Parallaft(Tracer):
             segment.end_checkpoint = checkpoint
         segment.ready_time = self.executor.current_time
         segment.status = SegmentStatus.READY
+        self._emit(tev.SEGMENT_READY, proc=main, segment=segment.index,
+                   instructions=segment.main_instructions,
+                   main_exit=end_is_main_exit)
         self.current = None
         self._release_segment(segment)
         if self.recovery is not None:
@@ -248,11 +278,15 @@ class Parallaft(Tracer):
                        + int(segment.main_instructions
                              * self.config.checker_timeout_scale) + 64)
             checker.cpu.arm_instr_overflow(timeout)
+        self._emit(tev.SEGMENT_RELEASE, proc=checker, segment=segment.index)
         if self.config.mode != RuntimeMode.RAFT:
             self.sched.submit(segment)
         segment.replayer.arm_next()
-        self.executor.charge(checker, self.kernel.costs.perf_setup_cycles
-                             + self.kernel.costs.breakpoint_setup_cycles)
+        # The checker may still be queued for a core: park the setup cost
+        # until the scheduler places it.
+        self.executor.charge_deferred(
+            checker, self.kernel.costs.perf_setup_cycles
+            + self.kernel.costs.breakpoint_setup_cycles)
         if checker.state == ProcessState.WAITING:
             self._wake_checker(checker)
 
@@ -277,10 +311,17 @@ class Parallaft(Tracer):
             checker.ready_time = max(checker.ready_time,
                                      self.executor.current_time)
             self._stalled_checkers.discard(checker.pid)
+            segment = self.segment_of_checker.get(checker.pid)
+            self._emit(tev.CHECKER_WAKE, proc=checker,
+                       segment=segment.index if segment else None)
 
     def _stall_checker(self, checker: Process) -> None:
         checker.state = ProcessState.WAITING
         self._stalled_checkers.add(checker.pid)
+        segment = self.segment_of_checker.get(checker.pid)
+        self._emit(tev.CHECKER_STALL, proc=checker,
+                   segment=segment.index if segment else None,
+                   reason="record_starvation")
 
     def _record_appended(self, segment: Segment) -> None:
         checker = segment.checker
@@ -334,15 +375,20 @@ class Parallaft(Tracer):
         index = segment.index if segment is not None else -1
         self.stats.errors.append(DetectedError(
             kind, index, detail, self.executor.current_time))
+        self._emit(tev.ERROR, segment=index if index >= 0 else None,
+                   error=kind, detail=detail)
         if segment is not None:
             segment.status = SegmentStatus.FAILED
+            self._emit(tev.SEGMENT_FAILED, segment=segment.index, error=kind)
             if segment.checker is not None and segment.checker.alive:
                 self.kernel.exit_process(segment.checker, 1)
             self.sched.on_checker_done(segment)
-        if self._main_stalled_on_cap and self.main is not None \
-                and self.main.alive:
-            self._main_stalled_on_cap = False
-            self.main.state = ProcessState.RUNNING
+        # The FAILED segment left the live set without ever retiring, so
+        # this is a wake point for a stalled main: both the cap stall and
+        # the containment stall must be re-evaluated here, else a main
+        # stalled behind the failed segment sleeps forever when
+        # stop_on_error is off.
+        self._maybe_wake_stalled_main()
         if self.config.stop_on_error:
             self._terminate_application()
 
@@ -379,14 +425,17 @@ class Parallaft(Tracer):
         segment.checker = fresh
         segment.cursor = segment.log.cursor()
         segment.status = SegmentStatus.READY
+        self._emit(tev.CHECKER_RETRY, proc=fresh, segment=segment.index,
+                   retry=segment.retries, cause=kind)
         self._release_segment(segment)
-        self.executor.charge(fresh, cost)
+        self.executor.charge_deferred(fresh, cost)
 
     def _terminate_application(self) -> None:
         """An error was detected: terminate the application (paper §4.4)."""
         if self._terminated:
             return
         self._terminated = True
+        self._emit(tev.APP_TERMINATE)
         for proc in list(self.kernel.processes.values()):
             if proc.alive and self.roles.get(proc.pid) in ("main", "checker"):
                 if proc is self.main and proc.exit_code is not None:
@@ -438,6 +487,15 @@ class Parallaft(Tracer):
             # stalls here and re-issues the syscall once they retire.
             self._main_stalled_for_containment = True
             proc.state = ProcessState.WAITING
+            if self.trace.enabled:
+                waiting_on = [s.index for s in self.segments
+                              if s.live and s.index < self.current.index]
+                self._emit(tev.SYSCALL_HELD, proc=proc,
+                           segment=self.current.index, sysno=sysno)
+                self._emit(tev.MAIN_STALL, proc=proc,
+                           segment=self.current.index,
+                           reason=tev.STALL_CONTAINMENT,
+                           waiting_on=waiting_on)
             return SyscallAction.emulate(0)
         record = SyscallRecord(sysno, args, classification,
                                replay_passthrough=(classification
@@ -497,6 +555,20 @@ class Parallaft(Tracer):
             record.fixed_args = tuple(fixed)
         self.current.log.append(record)
         self.stats.syscalls_recorded += 1
+        if self.trace.enabled:
+            self._emit(tev.SYSCALL_RECORD, proc=proc,
+                       segment=self.current.index, sysno=sysno,
+                       classification=record.classification)
+            if (sysno == abi.SYS_WRITE and result > 0
+                    and record.args[0] in (abi.STDOUT, abi.STDERR)):
+                stream = ("stdout" if record.args[0] == abi.STDOUT
+                          else "stderr")
+                console = (self.kernel.console if record.args[0] == abi.STDOUT
+                           else self.kernel.stderr_console)
+                end = console.mark()
+                self._emit(tev.CONSOLE_WRITE, proc=proc,
+                           segment=self.current.index, stream=stream,
+                           start=end - result, end=end)
         self._record_appended(self.current)
 
     def _checker_syscall_entry(self, proc: Process, sysno: int,
@@ -539,6 +611,8 @@ class Parallaft(Tracer):
                 return SyscallAction.emulate(-abi.ENOSYS)
         segment.cursor.next()
         self.stats.syscalls_replayed += 1
+        self._emit(tev.SYSCALL_REPLAY, proc=proc, segment=segment.index,
+                   sysno=sysno)
         if record.replay_passthrough:
             if record.fixed_args is not None:
                 self._checker_restore_regs[proc.pid] = args
@@ -699,6 +773,9 @@ class Parallaft(Tracer):
                     segment.check_finished_time = self.executor.current_time
                     segment.status = SegmentStatus.CHECKED
                     self.stats.segments_checked += 1
+                    self._emit(tev.SEGMENT_CHECKED, proc=proc,
+                               segment=segment.index,
+                               reproduced_signal=signo)
                     if self.recovery is not None:
                         self.recovery.on_segment_verified(segment)
                 return True
@@ -764,6 +841,8 @@ class Parallaft(Tracer):
             # segment retires rather than growing the live set.
             self._main_stalled_on_cap = True
             proc.state = ProcessState.WAITING
+            self._emit(tev.MAIN_STALL, proc=proc, segment=segment.index,
+                       reason=tev.STALL_CAP)
             return
         self._boundary()
 
@@ -780,6 +859,8 @@ class Parallaft(Tracer):
             result = self.comparator.compare(checker, checkpoint, union)
             self.executor.charge(
                 checker, self.kernel.costs.hash_cycles(result.bytes_hashed))
+            self._emit(tev.COMPARISON, proc=checker, segment=segment.index,
+                       match=result.match, bytes_hashed=result.bytes_hashed)
             if not result.match:
                 self._report_error("state_mismatch", segment,
                                    result.describe())
@@ -787,11 +868,15 @@ class Parallaft(Tracer):
         segment.check_finished_time = self.executor.current_time
         segment.status = SegmentStatus.CHECKED
         self.stats.segments_checked += 1
+        self._emit(tev.SEGMENT_CHECKED, proc=checker, segment=segment.index)
         if self.recovery is not None:
             self.recovery.on_segment_verified(segment)
         self._retire_segment(segment)
 
     def _retire_segment(self, segment: Segment) -> None:
+        if segment.retired:
+            return
+        segment.retired = True
         checker = segment.checker
         if checker is not None:
             self.stats.checker_user_time += checker.user_time
@@ -806,15 +891,52 @@ class Parallaft(Tracer):
         if segment.recovery_checkpoint is not None:
             self.kernel.reap(segment.recovery_checkpoint)
         self.sched.on_checker_done(segment)
-        if (self._main_stalled_on_cap or self._main_stalled_for_containment) \
-                and self.main.alive:
-            self._main_stalled_on_cap = False
-            self._main_stalled_for_containment = False
-            self.main.state = ProcessState.RUNNING
-            self.main.ready_time = max(self.main.ready_time,
-                                       self.executor.current_time)
-            # A deferred boundary or held syscall re-fires on the main's
-            # next quantum.
+        self._emit(tev.SEGMENT_RETIRE, segment=segment.index)
+        self._maybe_wake_stalled_main()
+
+    def _containment_blocked(self) -> bool:
+        """True while the containment predicate still holds: some segment
+        earlier than the current one is live (unverified)."""
+        current = self.current
+        if current is None:
+            return False
+        return any(s.live for s in self.segments if s.index < current.index)
+
+    def _maybe_wake_stalled_main(self) -> None:
+        """Wake a stalled main iff its stall predicate no longer holds.
+
+        Called whenever a segment leaves the live set (retirement or
+        failure).  The wake predicate must be re-checked here rather than
+        waking unconditionally: with ``max_live_segments > 2`` a *later*
+        segment can retire while an earlier one is still unverified, and a
+        containment-stalled main woken then would violate the containment
+        invariant it stalled to preserve.  The held syscall is re-issued,
+        never skipped — the stall left the PC on the syscall instruction,
+        so resuming re-enters ``_main_syscall_entry`` with the (now
+        satisfied) predicate and the syscall executes for real.
+        """
+        main = self.main
+        if main is None or not main.alive:
+            return
+        if not (self._main_stalled_on_cap
+                or self._main_stalled_for_containment):
+            return
+        if self._main_stalled_on_cap \
+                and self._live_segments() >= self.config.max_live_segments:
+            return
+        if self._main_stalled_for_containment and self._containment_blocked():
+            return
+        reason = (tev.STALL_CONTAINMENT if self._main_stalled_for_containment
+                  else tev.STALL_CAP)
+        self._main_stalled_on_cap = False
+        self._main_stalled_for_containment = False
+        main.state = ProcessState.RUNNING
+        main.ready_time = max(main.ready_time, self.executor.current_time)
+        self._emit(tev.MAIN_WAKE, proc=main,
+                   segment=self.current.index if self.current else None,
+                   reason=reason)
+        # A deferred boundary or held syscall re-fires on the main's next
+        # quantum.
 
     # ---------------------------------------------------------------- stats
 
@@ -823,6 +945,7 @@ class Parallaft(Tracer):
         stats = self.stats
         stats.exit_code = main.exit_code
         stats.stdout = self.kernel.console.text()
+        stats.stderr = self.kernel.stderr_console.text()
         end = main.exit_time if main.exit_time is not None \
             else self.executor.current_time
         stats.main_wall_time = end - main.spawn_time

@@ -85,6 +85,10 @@ class Segment:
         self.check_finished_time: Optional[float] = None
         self.checker_was_migrated = False
         self.checker_user_cycles_at_start = 0.0
+        #: Guard against re-entrant retirement: retiring kills the checker,
+        #: whose exit hook would otherwise retire the segment again
+        #: (double-counting checker time and pacer updates).
+        self.retired = False
 
     def __repr__(self) -> str:
         return f"Segment({self.index}, {self.status.value})"

@@ -70,6 +70,7 @@ class RunStats:
     errors: List[DetectedError] = field(default_factory=list)
     exit_code: Optional[int] = None
     stdout: str = ""
+    stderr: str = ""
 
     @property
     def error_detected(self) -> bool:
@@ -83,21 +84,38 @@ class RunStats:
         return self.checker_cycles_big / total if total else 0.0
 
     def to_dict(self) -> Dict[str, object]:
-        """Artifact-style flat key dump (appendix A.7)."""
+        """Artifact-style flat key dump (appendix A.7).
+
+        Every public counter appears here — harness reports and campaign
+        artifacts serialize this dict, so a field missing from it is
+        silently invisible downstream (tests/test_core_units.py round-trips
+        the full set).
+        """
         return {
             "timing.all_wall_time": self.all_wall_time,
             "timing.main_wall_time": self.main_wall_time,
             "timing.main_user_time": self.main_user_time,
             "timing.main_sys_time": self.main_sys_time,
+            "timing.checker_user_time": self.checker_user_time,
+            "timing.checker_sys_time": self.checker_sys_time,
             "counter.checkpoint_count": self.checkpoint_count,
             "fixed_interval_slicer.nr_slices": self.nr_slices,
             "counter.syscalls_recorded": self.syscalls_recorded,
             "counter.syscalls_replayed": self.syscalls_replayed,
+            "counter.signals_recorded": self.signals_recorded,
+            "counter.nondet_recorded": self.nondet_recorded,
+            "counter.bytes_recorded": self.bytes_recorded,
             "counter.segments_checked": self.segments_checked,
+            "counter.checker_retries": self.checker_retries,
             "counter.checker_migrations": self.checker_migrations,
+            "counter.checkers_finished_on_big": self.checkers_finished_on_big,
+            "counter.mmap_splits": self.mmap_splits,
             "counter.recovery.rollbacks": self.recovery_rollbacks,
             "counter.recovery.retries": self.recovery_retries,
             "counter.recovery.wasted_cycles": self.recovery_wasted_cycles,
+            "work.checker_cycles_big": self.checker_cycles_big,
+            "work.checker_cycles_little": self.checker_cycles_little,
+            "work.big_core_work_fraction": self.big_core_work_fraction,
             "hwmon.total_energy": self.energy_joules,
             "errors": [f"{e.kind}@{e.segment_index}" for e in self.errors],
             "exit_code": self.exit_code,

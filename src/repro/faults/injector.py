@@ -68,6 +68,7 @@ class FaultInjector:
         self._profile_times: Optional[List[float]] = None
         self._profile_main_instructions: Optional[List[int]] = None
         self._profile_stdout: Optional[str] = None
+        self._profile_stderr: Optional[str] = None
 
     def _fresh_runtime(self) -> Parallaft:
         return Parallaft(self.program, config=self.config_factory(),
@@ -96,6 +97,7 @@ class FaultInjector:
         self._profile_main_instructions = [
             segment.main_instructions for segment in runtime.segments]
         self._profile_stdout = stats.stdout
+        self._profile_stderr = stats.stderr
         return times, stats.stdout
 
     # -- single injection ----------------------------------------------------
@@ -159,7 +161,12 @@ class FaultInjector:
         stats = runtime.run()
         if not fired[0]:
             return None
-        outcome = self._classify(stats, reference_output)
+        # stderr is part of the sphere of replication too: a recovered run
+        # must reproduce the fault-free stderr as well as stdout (None when
+        # no profile ran, e.g. direct inject_site calls with an external
+        # reference).
+        reference_stderr = self._profile_stderr
+        outcome = self._classify(stats, reference_output, reference_stderr)
         return InjectionResult(
             outcome=outcome,
             register_file=(site.register_file
@@ -171,14 +178,19 @@ class FaultInjector:
             detail=stats.errors[0].detail if stats.errors else "",
             target=site.target, site_kind=site.kind,
             rolled_back=stats.recovery_rollbacks > 0,
-            output_matched=stats.stdout == reference_output)
+            output_matched=(stats.stdout == reference_output
+                            and (reference_stderr is None
+                                 or stats.stderr == reference_stderr)))
 
     @staticmethod
-    def _classify(stats: RunStats, reference_output: str) -> Outcome:
+    def _classify(stats: RunStats, reference_output: str,
+                  reference_stderr: Optional[str] = None) -> Outcome:
         if stats.errors:
             kind = stats.errors[0].kind
             return ERROR_KIND_TO_OUTCOME.get(kind, Outcome.DETECTED)
-        if stats.stdout != reference_output:
+        if stats.stdout != reference_output \
+                or (reference_stderr is not None
+                    and stats.stderr != reference_stderr):
             # Tripwire: no error was reported yet the main's output is
             # corrupt.  For checker-side campaigns this is unreachable;
             # for main-side campaigns it means detection failed silently.

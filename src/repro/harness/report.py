@@ -13,6 +13,8 @@ from repro.common.units import BILLION, geomean, geomean_overhead_pct
 from repro.faults import CampaignResult, Outcome
 from repro.harness.figures import PeriodSweepPoint, SuiteComparison
 from repro.harness.overhead import OverheadBreakdown
+from repro.trace import TraceBuffer
+from repro.trace import events as tev
 
 
 def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
@@ -84,6 +86,29 @@ def render_period_sweep(sweep: Dict[str, List[PeriodSweepPoint]]) -> str:
                       + _table(("period", "total%", "fork+cow", "last-sync"),
                                rows))
     return "\n\n".join(blocks)
+
+
+def render_timeline(trace: TraceBuffer, last: Optional[int] = 40) -> str:
+    """Timeline figure for one run's event trace.
+
+    A per-kind census (so the shape of the run is visible at a glance)
+    followed by the tail of the raw event timeline.  For the full
+    interactive view, export :meth:`TraceBuffer.chrome_trace` and load it
+    in Perfetto.
+    """
+    counts: Dict[str, int] = {}
+    for event in trace:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    census = _table(("event", "count"),
+                    sorted(counts.items(), key=lambda kv: -kv[1]))
+    segments_done = counts.get(tev.SEGMENT_CHECKED, 0)
+    header = (f"event trace: {len(trace)} events "
+              f"({trace.dropped} dropped), "
+              f"{segments_done} segments checked")
+    tail_label = (f"last {last} events" if last is not None
+                  and len(trace) > last else "all events")
+    return (f"{header}\n\n{census}\n\n{tail_label}:\n"
+            + trace.timeline(last=last))
 
 
 def render_injection(campaigns: Dict[str, CampaignResult]) -> str:

@@ -116,11 +116,18 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
                   platform: Optional[PlatformConfig] = None,
                   config: Optional[ParallaftConfig] = None,
                   scale: int = 1, seed_base: int = 0, quantum: int = 2000,
-                  sample_memory: bool = False) -> BenchmarkResult:
-    """Run a benchmark under Parallaft or the RAFT model."""
+                  sample_memory: bool = False,
+                  trace_path: Optional[str] = None) -> BenchmarkResult:
+    """Run a benchmark under Parallaft or the RAFT model.
+
+    ``trace_path`` exports each input's event trace as Chrome trace_event
+    JSON (Perfetto-loadable); multi-input benchmarks get a ``.seedN``
+    suffix inserted before the extension.
+    """
     platform = platform or apple_m2()
     result = BenchmarkResult(bench.name, mode)
-    for seed in bench.input_seeds():
+    seeds = bench.input_seeds()
+    for seed in seeds:
         if config is not None:
             import copy
             run_config = copy.deepcopy(config)
@@ -137,6 +144,9 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
         if sample_memory:
             runtime.enable_memory_sampling(0.5)
         stats = runtime.run()
+        if trace_path is not None:
+            runtime.trace.write_chrome_trace(
+                _trace_path_for_seed(trace_path, seed, len(seeds)))
         if stats.error_detected:
             raise RuntimeError(
                 f"{bench.name} seed {seed} false positive: {stats.errors}")
@@ -153,6 +163,16 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
             pss_samples=list(stats.pss_samples),
         ))
     return result
+
+
+def _trace_path_for_seed(path: str, seed: int, n_inputs: int) -> str:
+    """``out.json`` -> ``out.seed1.json`` for multi-input benchmarks."""
+    if n_inputs <= 1:
+        return path
+    root, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.seed{seed}"
+    return f"{root}.seed{seed}.{ext}"
 
 
 def overhead_pct(protected: BenchmarkResult,

@@ -33,6 +33,8 @@ from repro.mem.address_space import (
     PageFault,
 )
 from repro.mem.frames import FramePool
+from repro.trace import NULL_TRACE
+from repro.trace import events as tev
 
 
 @dataclass
@@ -69,6 +71,8 @@ class Kernel:
         self._next_pid = 1000
         #: Virtual-time source; the executor installs the real one.
         self.time_fn: Callable[[], float] = lambda: 0.0
+        #: Event sink; the Parallaft runtime installs its own buffer.
+        self.trace = NULL_TRACE
         #: Per-run statistics.
         self.stats: Dict[str, int] = {
             "forks": 0, "syscalls": 0, "signals_delivered": 0,
@@ -130,6 +134,9 @@ class Kernel:
         self.processes[pid] = child
         self.stats["forks"] += 1
         cost = self.costs.fork_cycles(proc.mem.mapped_pages)
+        if self.trace.enabled:
+            self.trace.emit(tev.PROCESS_FORK, pid=pid, parent=proc.pid,
+                            name=child.name)
         return child, cost
 
     def exit_process(self, proc: Process, code: int) -> None:
@@ -138,6 +145,8 @@ class Kernel:
         proc.state = ProcessState.ZOMBIE
         proc.exit_code = code
         proc.exit_time = self.now()
+        if self.trace.enabled:
+            self.trace.emit(tev.PROCESS_EXIT, pid=proc.pid, code=code)
         if proc.tracer is not None:
             proc.tracer.on_process_exit(proc)
 
@@ -151,6 +160,8 @@ class Kernel:
             return
         proc.mem.destroy()
         proc.state = ProcessState.DEAD
+        if self.trace.enabled:
+            self.trace.emit(tev.PROCESS_REAP, pid=proc.pid)
 
     def live_processes(self) -> List[Process]:
         return [p for p in self.processes.values() if p.alive]

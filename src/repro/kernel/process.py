@@ -75,6 +75,9 @@ class Process:
         self.core = None            # Core or None
         self.ready_time = 0.0       # virtual seconds: earliest next run
         self.pinned_core_kind: Optional[str] = None
+        #: (hw_cycles, kind) work parked until the process lands on a core
+        #: (see Executor.charge_deferred).
+        self.pending_charges: List[tuple] = []
 
         # Accounting (virtual seconds / counts).
         self.user_time = 0.0

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.segment import Segment, SegmentStatus
 from repro.kernel.process import Process, ProcessState
+from repro.trace import events as tev
 
 if TYPE_CHECKING:
     from repro.core.runtime import Parallaft
@@ -128,6 +129,8 @@ class RecoveryManager:
         self.rollbacks += 1
         self.rollback_streak += 1
         self.stats.recovery_rollbacks += 1
+        rt._emit(tev.ROLLBACK, proc=old_main, segment=segment.index,
+                 rollbacks=self.rollbacks, streak=self.rollback_streak)
 
         # Everything the main executed past the verified boundary is lost.
         wasted = max(0.0, old_main.user_cycles - segment.start_cycles)
@@ -146,6 +149,10 @@ class RecoveryManager:
         # escape the sphere of replication.
         kernel.console.truncate(segment.console_mark)
         kernel.stderr_console.truncate(segment.stderr_mark)
+        rt._emit(tev.CONSOLE_TRUNCATE, segment=segment.index,
+                 stream="stdout", length=segment.console_mark)
+        rt._emit(tev.CONSOLE_TRUNCATE, segment=segment.index,
+                 stream="stderr", length=segment.stderr_mark)
 
         # Replace the corrupted main with the verified checkpoint.
         new_main = segment.recovery_checkpoint
@@ -237,4 +244,5 @@ class RecoveryManager:
 
         segment.replayer = None
         segment.status = SegmentStatus.ROLLED_BACK
+        rt._emit(tev.SEGMENT_ROLLED_BACK, segment=segment.index)
         return wasted

@@ -24,6 +24,12 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, ProcessState
 from repro.sim.cores import Core, make_cores
 from repro.sim.platform import PlatformConfig
+from repro.trace import NULL_TRACE
+from repro.trace import events as tev
+
+
+def core_label(core: Core) -> str:
+    return f"{core.cluster}{core.index}"
 
 _FAULT_SIGNALS = {
     FaultKind.PAGE_FAULT: abi.SIGSEGV,
@@ -63,6 +69,8 @@ class Executor:
         kernel.time_fn = lambda: self.current_time
         self._cow_seen = {}
         self._shutdown = False
+        #: Event sink; the Parallaft runtime installs its own buffer.
+        self.trace = NULL_TRACE
 
     # -- core management ----------------------------------------------------
 
@@ -82,11 +90,21 @@ class Executor:
                 f"pid {core.occupant.pid}")
         if proc.core is not None and proc.core is not core:
             proc.core.occupant = None
+            if self.trace.enabled:
+                self.trace.emit(tev.CORE_UNASSIGN, pid=proc.pid,
+                                core=core_label(proc.core))
         proc.core = core
         core.occupant = proc
+        if self.trace.enabled:
+            self.trace.emit(tev.CORE_ASSIGN, pid=proc.pid,
+                            core=core_label(core))
+        self._flush_pending_charges(proc)
 
     def unassign(self, proc: Process) -> None:
         if proc.core is not None:
+            if self.trace.enabled:
+                self.trace.emit(tev.CORE_UNASSIGN, pid=proc.pid,
+                                core=core_label(proc.core))
             proc.core.occupant = None
             proc.core = None
 
@@ -112,20 +130,45 @@ class Executor:
 
         Used by the kernel (via the step loop) and by the Parallaft
         coordinator for runtime work on the critical path (fork, dirty-page
-        clearing, perf setup, hashing...).
+        clearing, perf setup, hashing...).  The process must be placed on a
+        core — cycles only turn into time and energy somewhere; use
+        :meth:`charge_deferred` for work done on behalf of a process that
+        may still be queued.
         """
         core = proc.core
-        freq = core.freq_hz if core is not None else self.platform.big_freq_hz
-        seconds = hw_cycles / freq
+        if core is None:
+            raise SimulationError(
+                f"charge({hw_cycles:g} cycles) to pid {proc.pid} with no "
+                f"core: use charge_deferred for not-yet-placed processes")
+        seconds = hw_cycles / core.freq_hz
         if kind == "sys":
             proc.sys_time += seconds
         else:
             proc.user_time += seconds
-        if core is not None:
-            core.local_time = max(core.local_time, proc.ready_time) + seconds
-            self._account_core_energy(core, seconds)
-            proc.ready_time = core.local_time
+        core.local_time = max(core.local_time, proc.ready_time) + seconds
+        self._account_core_energy(core, seconds)
+        proc.ready_time = core.local_time
         return seconds
+
+    def charge_deferred(self, proc: Process, hw_cycles: float,
+                        kind: str = "sys") -> None:
+        """Charge work to a process that may not be placed yet.
+
+        If the process is on a core, this is an immediate :meth:`charge`;
+        otherwise the cycles are parked on the process and charged (at the
+        real core's frequency, with energy accounting) the moment
+        :meth:`assign` places it.
+        """
+        if proc.core is not None:
+            self.charge(proc, hw_cycles, kind)
+        else:
+            proc.pending_charges.append((hw_cycles, kind))
+
+    def _flush_pending_charges(self, proc: Process) -> None:
+        if proc.pending_charges:
+            pending, proc.pending_charges = proc.pending_charges, []
+            for hw_cycles, kind in pending:
+                self.charge(proc, hw_cycles, kind)
 
     def _account_core_energy(self, core: Core, seconds: float) -> None:
         power = (self.platform.core_static_power_w(core.cluster)

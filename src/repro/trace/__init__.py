@@ -1,0 +1,28 @@
+"""repro.trace — structured event tracing and offline invariant checking.
+
+Pure-data layer: no imports from the simulator or kernel, so every
+component can depend on it without cycles.  See :mod:`repro.trace.events`
+for the schema and :mod:`repro.trace.invariants` for the checked
+invariants.
+"""
+
+from . import events
+from .buffer import NULL_TRACE, TraceBuffer
+from .events import TraceEvent
+from .invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    assert_runtime_ok,
+    check_runtime,
+)
+
+__all__ = [
+    "events",
+    "TraceEvent",
+    "TraceBuffer",
+    "NULL_TRACE",
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_runtime",
+    "assert_runtime_ok",
+]

@@ -1,0 +1,240 @@
+"""Offline invariant checking over a recorded event trace.
+
+The :class:`InvariantChecker` replays a :class:`~repro.trace.TraceBuffer`
+(or a plain event list) in one pass and verifies the runtime invariants
+the paper's correctness argument depends on:
+
+(a) **containment** — when ``error_containment`` is on, no GLOBAL syscall
+    is recorded while an earlier segment is still live, and a
+    containment-stalled main is only woken once no earlier segment is
+    live (a premature ``main_wake`` is a violated wake precondition even
+    though the re-issued syscall re-stalls downstream).
+(b) **stall pairing** — every ``main_stall``/``checker_stall`` is
+    eventually followed by a matching wake for the same pid, or by the
+    process's exit / application termination.  A leftover stall is the
+    deadlock signature.
+(c) **core exclusivity** — a core never hosts two processes at once
+    (tracked from ``core_assign``/``core_unassign``).
+(d) **segment completion** — every segment that became READY reaches a
+    terminal state (CHECKED/FAILED/ROLLED_BACK) unless the application
+    was deliberately torn down.
+(e) **output commit** — under recovery, console bytes attributed to a
+    segment that is later rolled back must be truncated away again
+    (output never outlives its segment's verification).
+
+Pairing-based invariants (b)–(d) are skipped when the ring buffer dropped
+events, since a dropped stall/assign would produce false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from .buffer import TraceBuffer
+from .events import (
+    APP_TERMINATE,
+    CHECKER_STALL,
+    CHECKER_WAKE,
+    CONSOLE_TRUNCATE,
+    CONSOLE_WRITE,
+    CORE_ASSIGN,
+    CORE_UNASSIGN,
+    MAIN_STALL,
+    MAIN_WAKE,
+    PROCESS_EXIT,
+    SEGMENT_READY,
+    SEGMENT_ROLLED_BACK,
+    SEGMENT_START,
+    SEGMENT_TERMINAL,
+    STALL_CONTAINMENT,
+    SYSCALL_RECORD,
+    TraceEvent,
+)
+
+
+@dataclass
+class InvariantViolation:
+    invariant: str               # 'containment' | 'stall_pairing' | ...
+    message: str
+    event: Optional[TraceEvent] = None
+
+    def __str__(self) -> str:
+        where = f" at {self.event.describe()}" if self.event else ""
+        return f"[{self.invariant}] {self.message}{where}"
+
+
+@dataclass
+class _ConsoleWrite:
+    event: TraceEvent
+    stream: str
+    start: int
+    end: int
+    truncated: bool = False
+
+
+class InvariantChecker:
+    """Single-pass checker for the invariants listed in the module doc."""
+
+    def __init__(self, error_containment: bool = False,
+                 recovery: bool = False) -> None:
+        self.error_containment = error_containment
+        self.recovery = recovery
+        self.violations: List[InvariantViolation] = []
+
+    # ------------------------------------------------------------------
+
+    def check(
+        self, trace: Union[TraceBuffer, Iterable[TraceEvent]],
+    ) -> List[InvariantViolation]:
+        dropped = trace.dropped if isinstance(trace, TraceBuffer) else 0
+        events = list(trace)
+        self.violations = []
+
+        live: Set[int] = set()
+        pending_stalls: Dict[int, TraceEvent] = {}
+        occupancy: Dict[str, int] = {}
+        ready: Set[int] = set()
+        terminal: Set[int] = set()
+        rolled_back: Set[int] = set()
+        writes: List[_ConsoleWrite] = []
+        app_terminated = False
+
+        for event in events:
+            kind = event.kind
+
+            # -- live-segment bookkeeping -------------------------------
+            if kind == SEGMENT_START and event.segment is not None:
+                live.add(event.segment)
+            elif kind in SEGMENT_TERMINAL and event.segment is not None:
+                live.discard(event.segment)
+                terminal.add(event.segment)
+                if kind == SEGMENT_ROLLED_BACK:
+                    rolled_back.add(event.segment)
+            if kind == SEGMENT_READY and event.segment is not None:
+                ready.add(event.segment)
+
+            # -- (a) containment ----------------------------------------
+            if self.error_containment and event.segment is not None:
+                earlier_live = sorted(
+                    s for s in live if s < event.segment)
+                if kind == SYSCALL_RECORD:
+                    classification = str(
+                        event.payload.get("classification", "")).lower()
+                    if "global" in classification and earlier_live:
+                        self._violate(
+                            "containment",
+                            f"GLOBAL syscall recorded in segment "
+                            f"{event.segment} while earlier segments "
+                            f"{earlier_live} are live", event)
+                elif (kind == MAIN_WAKE
+                      and event.payload.get("reason") == STALL_CONTAINMENT
+                      and earlier_live):
+                    self._violate(
+                        "containment",
+                        f"containment-stalled main woken at segment "
+                        f"{event.segment} while earlier segments "
+                        f"{earlier_live} are live", event)
+
+            # -- (b) stall pairing --------------------------------------
+            if kind in (MAIN_STALL, CHECKER_STALL) and event.pid is not None:
+                pending_stalls[event.pid] = event
+            elif kind in (MAIN_WAKE, CHECKER_WAKE, PROCESS_EXIT) \
+                    and event.pid is not None:
+                pending_stalls.pop(event.pid, None)
+            elif kind == APP_TERMINATE:
+                app_terminated = True
+
+            # -- (c) core exclusivity -----------------------------------
+            if kind == CORE_ASSIGN and event.core is not None:
+                holder = occupancy.get(event.core)
+                if holder is not None and holder != event.pid:
+                    self._violate(
+                        "core_exclusivity",
+                        f"core {event.core} assigned to pid {event.pid} "
+                        f"while still held by pid {holder}", event)
+                occupancy[event.core] = event.pid
+            elif kind == CORE_UNASSIGN and event.core is not None:
+                occupancy.pop(event.core, None)
+
+            # -- (e) output commit --------------------------------------
+            if kind == CONSOLE_WRITE:
+                writes.append(_ConsoleWrite(
+                    event=event,
+                    stream=str(event.payload.get("stream", "stdout")),
+                    start=int(event.payload.get("start", 0)),
+                    end=int(event.payload.get("end", 0)),
+                ))
+            elif kind == CONSOLE_TRUNCATE:
+                stream = str(event.payload.get("stream", "stdout"))
+                length = int(event.payload.get("length", 0))
+                for write in writes:
+                    if write.stream == stream and length <= write.start:
+                        write.truncated = True
+
+        # ---- end-of-trace checks --------------------------------------
+        if dropped == 0:
+            # (b) leftover stalls
+            if not app_terminated:
+                for pid, stall in sorted(pending_stalls.items()):
+                    reason = stall.payload.get("reason", "?")
+                    self._violate(
+                        "stall_pairing",
+                        f"pid {pid} stalled ({stall.kind}, reason="
+                        f"{reason}) and never woken or terminated", stall)
+            # (d) segment completion
+            if not app_terminated:
+                unfinished = sorted(ready - terminal)
+                if unfinished:
+                    self._violate(
+                        "segment_completion",
+                        f"READY segments never reached a terminal state: "
+                        f"{unfinished}")
+
+        # (e) rolled-back output must have been truncated
+        if self.recovery:
+            for write in writes:
+                seg = write.event.segment
+                if seg in rolled_back and not write.truncated:
+                    self._violate(
+                        "output_commit",
+                        f"{write.stream} bytes [{write.start}:{write.end}] "
+                        f"written in rolled-back segment {seg} were never "
+                        f"truncated", write.event)
+
+        return self.violations
+
+    # ------------------------------------------------------------------
+
+    def assert_ok(
+        self, trace: Union[TraceBuffer, Iterable[TraceEvent]],
+    ) -> None:
+        violations = self.check(trace)
+        if violations:
+            detail = "\n".join(str(v) for v in violations)
+            raise AssertionError(
+                f"{len(violations)} trace invariant violation(s):\n{detail}")
+
+    def _violate(self, invariant: str, message: str,
+                 event: Optional[TraceEvent] = None) -> None:
+        self.violations.append(
+            InvariantViolation(invariant=invariant, message=message,
+                               event=event))
+
+
+def check_runtime(runtime) -> List[InvariantViolation]:
+    """Check a finished :class:`~repro.core.Parallaft` run's trace using
+    its own configuration to decide which invariants apply."""
+    checker = InvariantChecker(
+        error_containment=runtime.config.error_containment,
+        recovery=runtime.config.enable_recovery,
+    )
+    return checker.check(runtime.trace)
+
+
+def assert_runtime_ok(runtime) -> None:
+    violations = check_runtime(runtime)
+    if violations:
+        detail = "\n".join(str(v) for v in violations)
+        raise AssertionError(
+            f"{len(violations)} trace invariant violation(s):\n{detail}")

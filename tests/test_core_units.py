@@ -152,6 +152,40 @@ class TestStats:
                     "fixed_interval_slicer.nr_slices", "hwmon.total_energy"):
             assert key in dump
 
+    def test_to_dict_round_trips_every_counter(self):
+        """Regression: to_dict() silently dropped several counters
+        (checker_retries, mmap_splits, bytes_recorded, signals_recorded,
+        nondet_recorded, checkers_finished_on_big), making them invisible
+        in harness reports and campaign artifacts.  Set every scalar
+        field to a distinct value and require each to surface in the
+        dump."""
+        import dataclasses
+        stats = RunStats()
+        skip = {"pss_samples", "pacer_freq_history", "errors",
+                "stdout", "stderr", "exit_code"}
+        expected = {}
+        value = 1.0
+        for f in dataclasses.fields(RunStats):
+            if f.name in skip:
+                continue
+            value += 1.0
+            setattr(stats, f.name, value)
+            expected[f.name] = value
+        dumped = {v for v in stats.to_dict().values()
+                  if isinstance(v, (int, float))}
+        missing = [name for name, v in expected.items() if v not in dumped]
+        assert missing == [], f"fields dropped by to_dict(): {missing}"
+
+    def test_to_dict_includes_previously_dropped_counters(self):
+        dump = RunStats().to_dict()
+        for key in ("counter.checker_retries", "counter.mmap_splits",
+                    "counter.bytes_recorded", "counter.signals_recorded",
+                    "counter.nondet_recorded",
+                    "counter.checkers_finished_on_big",
+                    "timing.checker_user_time", "timing.checker_sys_time",
+                    "work.big_core_work_fraction"):
+            assert key in dump
+
     def test_error_detected_property(self):
         stats = RunStats()
         assert not stats.error_detected

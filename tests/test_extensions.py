@@ -171,3 +171,116 @@ class TestErrorContainment:
 
     def test_containment_off_by_default(self):
         assert ParallaftConfig().error_containment is False
+
+
+PRINT_LOOP = """
+global acc;
+func main() {
+    var i; var j;
+    for (i = 0; i < 6; i = i + 1) {
+        for (j = 0; j < 5000; j = j + 1) { acc = acc + j; }
+        print_int(acc % 1000003);
+    }
+}
+"""
+
+
+class TestContainmentWakeRegressions:
+    """Regressions for two bugs in the containment stall/wake protocol.
+
+    Both were caught by the trace invariant suite
+    (tests/test_trace_invariants.py); these tests pin the user-visible
+    symptoms directly.
+    """
+
+    def test_failed_segment_wakes_stalled_main(self):
+        """Deadlock regression: with ``stop_on_error=False`` a FAILed
+        segment never retires.  The error path must wake a main stalled
+        waiting for that segment's verification — previously only the
+        cap stall was woken, so the app hung forever (main WAITING, no
+        runnable process) with its output truncated."""
+        config = ParallaftConfig()
+        config.slicing_period = 150_000_000
+        config.error_containment = True
+        config.stop_on_error = False
+        config.max_live_segments = 2
+        runtime = Parallaft(compile_source(PRINT_LOOP), config=config,
+                            platform=apple_m2())
+        corrupted = [None]
+
+        def hook(proc, role):
+            if corrupted[0] is not None or role != "checker":
+                return
+            if not runtime._main_stalled_for_containment:
+                return
+            current = runtime.current
+            if current is None:
+                return
+            segment = runtime.segment_of_checker.get(proc.pid)
+            if segment is None or segment.index >= current.index \
+                    or not segment.live:
+                return
+            proc.cpu.regs.flip_bit("gpr", 8, 13)
+            corrupted[0] = segment.index
+
+        runtime.quantum_hooks.append(hook)
+        stats = runtime.run()
+        assert corrupted[0] is not None, "fault never fired"
+        # The divergence is still reported...
+        assert stats.error_detected
+        assert stats.errors[0].segment_index == corrupted[0]
+        # ...but the application runs to completion with full output.
+        assert stats.exit_code == 0
+        assert len(stats.stdout.splitlines()) == 6
+        assert not runtime._main_stalled_for_containment
+
+    def test_retirement_only_wakes_main_when_no_earlier_segment_live(self):
+        """Premature-wake regression: any segment retirement used to
+        clear the containment stall unconditionally, waking the main
+        while *other* earlier segments were still unverified.  The wake
+        must re-check the stall predicate (the held syscall is then
+        re-issued, not skipped)."""
+        from repro.trace import events as tev
+        source = """
+        global acc;
+        func main() {
+            var i; var j;
+            for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 20000; j = j + 1) { acc = acc + j; }
+                print_int(acc % 1000003);
+            }
+        }
+        """
+        config = ParallaftConfig()
+        config.slicing_period = 80_000_000
+        config.error_containment = True
+        config.max_live_segments = 6
+        runtime = Parallaft(compile_source(source), config=config,
+                            platform=apple_m2())
+        stats = runtime.run()
+        assert not stats.error_detected
+        assert stats.exit_code == 0
+        assert len(stats.stdout.splitlines()) == 5
+
+        # The scenario must actually pile up several earlier live
+        # segments at a containment stall, else it proves nothing.
+        stalls = [e for e in runtime.trace.events(tev.MAIN_STALL)
+                  if e.payload.get("reason") == tev.STALL_CONTAINMENT]
+        assert stalls
+        assert max(len(e.payload.get("waiting_on", [])) for e in stalls) >= 2
+
+        # Replay the trace: at every containment wake, no earlier
+        # segment may still be live.
+        live = set()
+        premature = []
+        for event in runtime.trace:
+            if event.kind == tev.SEGMENT_START:
+                live.add(event.segment)
+            elif event.kind in tev.SEGMENT_TERMINAL:
+                live.discard(event.segment)
+            elif (event.kind == tev.MAIN_WAKE
+                  and event.payload.get("reason") == tev.STALL_CONTAINMENT):
+                earlier = [s for s in live if s < event.segment]
+                if earlier:
+                    premature.append((event.segment, earlier))
+        assert premature == []

@@ -137,6 +137,38 @@ class TestExecutor:
         assert core.energy_joules > before
         assert proc.sys_time == pytest.approx(1.0)
 
+    def test_charge_without_core_raises(self):
+        """Charging a core-less process used to silently bill big-core
+        frequency with no energy or core-time accounting; it is now a
+        programming error."""
+        kernel, executor = make_machine()
+        proc = kernel.spawn(compile_source("func main() {}"))
+        assert proc.core is None
+        with pytest.raises(SimulationError, match="charge_deferred"):
+            executor.charge(proc, 1e6)
+        assert proc.sys_time == 0.0
+
+    def test_charge_deferred_parks_until_placement(self):
+        kernel, executor = make_machine()
+        proc = kernel.spawn(compile_source("func main() {}"))
+        executor.charge_deferred(proc, 3.5e9)
+        assert proc.pending_charges
+        assert proc.sys_time == 0.0
+        core = executor.schedule_default(proc)
+        # Placement flushes the parked cycles at the real core frequency,
+        # with energy and core-time accounted.
+        assert proc.pending_charges == []
+        assert proc.sys_time == pytest.approx(3.5e9 / core.freq_hz)
+        assert core.energy_joules > 0.0
+
+    def test_charge_deferred_immediate_when_placed(self):
+        kernel, executor = make_machine()
+        proc = kernel.spawn(compile_source("func main() {}"))
+        executor.schedule_default(proc)
+        executor.charge_deferred(proc, 3.5e9)
+        assert proc.pending_charges == []
+        assert proc.sys_time == pytest.approx(1.0)
+
     def test_total_energy_includes_idle_and_dram(self):
         kernel, executor = make_machine()
         proc = kernel.spawn(compile_source(

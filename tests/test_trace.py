@@ -1,0 +1,310 @@
+"""Unit tests for the event-trace subsystem (repro.trace).
+
+Covers the ring buffer, the Chrome trace_event / text exporters, and each
+invariant of the offline :class:`InvariantChecker` on hand-built event
+lists (so every violation class is exercised without a full runtime run —
+tests/test_trace_invariants.py does the end-to-end matrix).
+"""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    InvariantChecker,
+    NULL_TRACE,
+    TraceBuffer,
+    TraceEvent,
+)
+from repro.trace import events as tev
+
+
+class TestTraceBuffer:
+    def test_emit_records_event(self):
+        trace = TraceBuffer()
+        event = trace.emit(tev.SEGMENT_START, pid=3, role="main",
+                           segment=1, ts=0.5, checker_pid=4)
+        assert len(trace) == 1
+        assert event.kind == tev.SEGMENT_START
+        assert event.pid == 3
+        assert event.segment == 1
+        assert event.payload == {"checker_pid": 4}
+
+    def test_disabled_buffer_is_a_noop(self):
+        trace = TraceBuffer(enabled=False)
+        assert trace.emit(tev.ERROR, pid=1) is None
+        assert len(trace) == 0
+        assert len(NULL_TRACE) == 0
+
+    def test_clock_supplies_timestamps(self):
+        now = [0.0]
+        trace = TraceBuffer(clock=lambda: now[0])
+        trace.emit(tev.SEGMENT_START, segment=0)
+        now[0] = 1.25
+        trace.emit(tev.SEGMENT_CHECKED, segment=0)
+        first, second = trace.events()
+        assert first.ts == 0.0
+        assert second.ts == 1.25
+
+    def test_ring_drops_oldest_and_counts(self):
+        trace = TraceBuffer(capacity=4)
+        for i in range(10):
+            trace.emit(tev.SYSCALL_RECORD, pid=1, sysno=i)
+        assert len(trace) == 4
+        assert trace.dropped == 6
+        assert [e.payload["sysno"] for e in trace] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_events_filter_by_kind(self):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, segment=0)
+        trace.emit(tev.SYSCALL_RECORD, pid=1)
+        trace.emit(tev.SEGMENT_START, segment=1)
+        assert len(trace.events(tev.SEGMENT_START)) == 2
+        assert len(trace.events(tev.ROLLBACK)) == 0
+
+    def test_describe_mentions_fields(self):
+        event = TraceEvent(ts=0.001, kind=tev.MAIN_STALL, pid=7,
+                           role="main", core="big0", segment=3,
+                           payload={"reason": tev.STALL_CAP})
+        text = event.describe()
+        assert tev.MAIN_STALL in text
+        assert "pid=7" in text
+        assert "big0" in text
+        assert "reason=cap" in text
+
+
+class TestChromeExport:
+    def make_trace(self):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, pid=1, role="main", segment=0,
+                   ts=0.0)
+        trace.emit(tev.SYSCALL_RECORD, pid=1, role="main", segment=0,
+                   ts=0.001, sysno=64, classification="global")
+        trace.emit(tev.SEGMENT_CHECKED, pid=2, role="checker", segment=0,
+                   ts=0.002)
+        return trace
+
+    def test_structure_and_json_round_trip(self):
+        doc = self.make_trace().chrome_trace()
+        text = json.dumps(doc)
+        again = json.loads(text)
+        assert again["displayTimeUnit"] == "ms"
+        events = again["traceEvents"]
+        assert all(isinstance(e["ph"], str) for e in events)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            tev.SEGMENT_START, tev.SYSCALL_RECORD, tev.SEGMENT_CHECKED]
+        # Timestamps are microseconds.
+        assert instants[1]["ts"] == pytest.approx(1000.0)
+        assert instants[1]["args"]["classification"] == "global"
+
+    def test_segment_span_synthesized(self):
+        doc = self.make_trace().chrome_trace()
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["pid"] == 0
+        assert span["dur"] == pytest.approx(2000.0)
+        assert span["args"]["outcome"] == tev.SEGMENT_CHECKED
+
+    def test_process_name_metadata(self):
+        doc = self.make_trace().chrome_trace()
+        names = {e["pid"]: e["args"]["name"]
+                 for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert names[0] == "segments"
+        assert "main" in names[1]
+        assert "checker" in names[2]
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "out.json"
+        self.make_trace().write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestTimeline:
+    def test_timeline_tail_and_drop_notice(self):
+        trace = TraceBuffer(capacity=3)
+        for i in range(5):
+            trace.emit(tev.SYSCALL_RECORD, pid=1, ts=i * 0.001, sysno=i)
+        text = trace.timeline(last=2)
+        assert "2 earlier events dropped" in text
+        assert text.count(tev.SYSCALL_RECORD) == 2
+
+    def test_timeline_all_events(self):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, segment=0)
+        trace.emit(tev.SEGMENT_CHECKED, segment=0)
+        assert len(trace.timeline().splitlines()) == 2
+
+
+def _clean_run_events():
+    """A minimal well-formed trace: two segments, clean lifecycle."""
+    trace = TraceBuffer()
+    trace.emit(tev.SEGMENT_START, pid=1, role="main", segment=0, ts=0.0)
+    trace.emit(tev.CORE_ASSIGN, pid=1, core="big0", ts=0.0)
+    trace.emit(tev.SEGMENT_READY, pid=1, segment=0, ts=0.001)
+    trace.emit(tev.SEGMENT_START, pid=1, role="main", segment=1, ts=0.001)
+    trace.emit(tev.CORE_ASSIGN, pid=2, role="checker", core="little0",
+               segment=0, ts=0.001)
+    trace.emit(tev.SEGMENT_CHECKED, pid=2, segment=0, ts=0.002)
+    trace.emit(tev.CORE_UNASSIGN, pid=2, core="little0", ts=0.002)
+    trace.emit(tev.SEGMENT_READY, pid=1, segment=1, ts=0.003)
+    trace.emit(tev.SEGMENT_CHECKED, pid=2, segment=1, ts=0.004)
+    return trace
+
+
+class TestInvariantChecker:
+    def test_clean_trace_passes_all_invariants(self):
+        checker = InvariantChecker(error_containment=True, recovery=True)
+        assert checker.check(_clean_run_events()) == []
+        checker.assert_ok(_clean_run_events())
+
+    # -- (a) containment ------------------------------------------------
+
+    def test_global_syscall_with_earlier_live_segment_flagged(self):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, pid=1, segment=0, ts=0.0)
+        trace.emit(tev.SEGMENT_START, pid=1, segment=1, ts=0.001)
+        trace.emit(tev.SYSCALL_RECORD, pid=1, segment=1, ts=0.002,
+                   sysno=64, classification="global")
+        violations = InvariantChecker(error_containment=True).check(trace)
+        assert [v.invariant for v in violations] == ["containment"]
+        # Without containment configured the same trace is legal.
+        assert InvariantChecker().check(trace) == []
+
+    def test_premature_containment_wake_flagged(self):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, pid=1, segment=0, ts=0.0)
+        trace.emit(tev.SEGMENT_START, pid=1, segment=1, ts=0.001)
+        trace.emit(tev.MAIN_STALL, pid=1, segment=1, ts=0.002,
+                   reason=tev.STALL_CONTAINMENT)
+        trace.emit(tev.MAIN_WAKE, pid=1, segment=1, ts=0.003,
+                   reason=tev.STALL_CONTAINMENT)
+        trace.emit(tev.SEGMENT_CHECKED, pid=2, segment=0, ts=0.004)
+        trace.emit(tev.SEGMENT_CHECKED, pid=2, segment=1, ts=0.005)
+        violations = InvariantChecker(error_containment=True).check(trace)
+        assert [v.invariant for v in violations] == ["containment"]
+
+    def test_wake_after_verification_is_legal(self):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, pid=1, segment=0, ts=0.0)
+        trace.emit(tev.SEGMENT_START, pid=1, segment=1, ts=0.001)
+        trace.emit(tev.MAIN_STALL, pid=1, segment=1, ts=0.002,
+                   reason=tev.STALL_CONTAINMENT)
+        trace.emit(tev.SEGMENT_CHECKED, pid=2, segment=0, ts=0.003)
+        trace.emit(tev.MAIN_WAKE, pid=1, segment=1, ts=0.004,
+                   reason=tev.STALL_CONTAINMENT)
+        trace.emit(tev.SEGMENT_CHECKED, pid=2, segment=1, ts=0.005)
+        assert InvariantChecker(error_containment=True).check(trace) == []
+
+    # -- (b) stall pairing ----------------------------------------------
+
+    def test_unpaired_stall_flagged(self):
+        trace = TraceBuffer()
+        trace.emit(tev.MAIN_STALL, pid=1, ts=0.0,
+                   reason=tev.STALL_CONTAINMENT)
+        violations = InvariantChecker().check(trace)
+        assert [v.invariant for v in violations] == ["stall_pairing"]
+        assert "pid 1" in violations[0].message
+
+    @pytest.mark.parametrize("resolution", [
+        tev.MAIN_WAKE, tev.PROCESS_EXIT])
+    def test_resolved_stall_passes(self, resolution):
+        trace = TraceBuffer()
+        trace.emit(tev.MAIN_STALL, pid=1, ts=0.0, reason=tev.STALL_CAP)
+        trace.emit(resolution, pid=1, ts=0.001)
+        assert InvariantChecker().check(trace) == []
+
+    def test_app_terminate_excuses_pending_stalls(self):
+        trace = TraceBuffer()
+        trace.emit(tev.CHECKER_STALL, pid=2, ts=0.0)
+        trace.emit(tev.APP_TERMINATE, ts=0.001)
+        assert InvariantChecker().check(trace) == []
+
+    def test_dropped_events_skip_pairing_checks(self):
+        trace = TraceBuffer(capacity=2)
+        trace.emit(tev.SYSCALL_RECORD, pid=1, sysno=0)
+        trace.emit(tev.SYSCALL_RECORD, pid=1, sysno=1)
+        trace.emit(tev.MAIN_STALL, pid=1, reason=tev.STALL_CAP)
+        assert trace.dropped > 0
+        assert InvariantChecker().check(trace) == []
+
+    # -- (c) core exclusivity -------------------------------------------
+
+    def test_double_booked_core_flagged(self):
+        trace = TraceBuffer()
+        trace.emit(tev.CORE_ASSIGN, pid=1, core="big0", ts=0.0)
+        trace.emit(tev.CORE_ASSIGN, pid=2, core="big0", ts=0.001)
+        violations = InvariantChecker().check(trace)
+        assert [v.invariant for v in violations] == ["core_exclusivity"]
+
+    def test_unassign_frees_core(self):
+        trace = TraceBuffer()
+        trace.emit(tev.CORE_ASSIGN, pid=1, core="big0", ts=0.0)
+        trace.emit(tev.CORE_UNASSIGN, pid=1, core="big0", ts=0.001)
+        trace.emit(tev.CORE_ASSIGN, pid=2, core="big0", ts=0.002)
+        assert InvariantChecker().check(trace) == []
+
+    # -- (d) segment completion -----------------------------------------
+
+    def test_ready_segment_without_terminal_flagged(self):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, pid=1, segment=0, ts=0.0)
+        trace.emit(tev.SEGMENT_READY, pid=1, segment=0, ts=0.001)
+        violations = InvariantChecker().check(trace)
+        assert [v.invariant for v in violations] == ["segment_completion"]
+
+    @pytest.mark.parametrize("terminal", [
+        tev.SEGMENT_CHECKED, tev.SEGMENT_FAILED, tev.SEGMENT_ROLLED_BACK])
+    def test_any_terminal_state_completes_segment(self, terminal):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, pid=1, segment=0, ts=0.0)
+        trace.emit(tev.SEGMENT_READY, pid=1, segment=0, ts=0.001)
+        trace.emit(terminal, pid=1, segment=0, ts=0.002)
+        assert InvariantChecker().check(trace) == []
+
+    # -- (e) output commit ----------------------------------------------
+
+    def _rolled_back_write(self, truncate_to):
+        trace = TraceBuffer()
+        trace.emit(tev.SEGMENT_START, pid=1, segment=0, ts=0.0)
+        trace.emit(tev.CONSOLE_WRITE, pid=1, segment=0, ts=0.001,
+                   stream="stdout", start=0, end=4)
+        if truncate_to is not None:
+            trace.emit(tev.CONSOLE_TRUNCATE, ts=0.002, stream="stdout",
+                       length=truncate_to)
+        trace.emit(tev.SEGMENT_ROLLED_BACK, segment=0, ts=0.003)
+        return trace
+
+    def test_untruncated_rolled_back_output_flagged(self):
+        violations = InvariantChecker(recovery=True).check(
+            self._rolled_back_write(truncate_to=None))
+        assert [v.invariant for v in violations] == ["output_commit"]
+
+    def test_truncated_rolled_back_output_passes(self):
+        assert InvariantChecker(recovery=True).check(
+            self._rolled_back_write(truncate_to=0)) == []
+
+    def test_partial_truncate_does_not_cover_write(self):
+        # Truncating back to length 2 leaves bytes [0:2] of the write in
+        # place — the write is not fully revoked.
+        violations = InvariantChecker(recovery=True).check(
+            self._rolled_back_write(truncate_to=2))
+        assert [v.invariant for v in violations] == ["output_commit"]
+
+    def test_recovery_gate(self):
+        assert InvariantChecker(recovery=False).check(
+            self._rolled_back_write(truncate_to=None)) == []
+
+    # -- assert_ok ------------------------------------------------------
+
+    def test_assert_ok_raises_with_detail(self):
+        trace = TraceBuffer()
+        trace.emit(tev.MAIN_STALL, pid=9, ts=0.0, reason=tev.STALL_CAP)
+        with pytest.raises(AssertionError, match="stall_pairing"):
+            InvariantChecker().assert_ok(trace)
