@@ -1,0 +1,174 @@
+"""Infrastructure-fault coverage: SDC escapes with and without hardening.
+
+The application campaign (figure 10) attacks the *protected program*;
+this campaign attacks the *protector* — dirty-page tracking, the R/R log,
+retained recovery checkpoints and the comparator's hash path (see
+:mod:`repro.faults.infra`).  Shape criteria:
+
+1. With hardening **off**, infrastructure faults escape silently: the
+   SDC fraction is nonzero for at least ``dirty-miss`` and
+   ``log-corrupt`` (a suppressed dirty bit removes the corrupted page
+   from comparison entirely; a rotten log record under recovery rolls
+   the innocent main back, and the re-execution re-draws ``getrandom``
+   entropy — silently different output, empty error list).
+2. With hardening **on** (checksummed log records, checkpoint digests,
+   clean-page audit, redundant compare), the SDC fraction is exactly
+   zero for *every* kind on *every* workload: each corruption either
+   never matters or is converted into a typed, fail-stop error.
+"""
+
+import pytest
+from conftest import print_rows
+
+from repro.core import ParallaftConfig
+from repro.faults import INFRA_KINDS, Outcome, run_infra_campaign
+from repro.harness.report import render_infra_campaign
+from repro.minic import compile_source
+from repro.sim import apple_m2
+
+#: ~8 segments per run on these workloads: enough distinct injection
+#: points, cheap enough that every injection can be a full program run.
+CAMPAIGN_PERIOD = 12_000_000_000
+INJECTIONS_PER_KIND = 3
+
+# Three structurally different workloads.  Each draws fresh kernel
+# entropy every round (so a wrongful rollback visibly re-draws it),
+# keeps a full 16 KiB data page hot (so dirty-page faults always have a
+# target), prints per-round progress and a final whole-array aggregate
+# (so any surviving corruption reaches stdout).
+WORKLOADS = {
+    "stencil": """
+global grid[2048];
+global ent[1];
+func main() {
+    var i; var round; var total;
+    srand64(7);
+    for (round = 0; round < 20; round = round + 1) {
+        getrandom(ent, 8);
+        for (i = 0; i < 2048; i = i + 1) {
+            grid[i] = grid[i] * 3 + round - i;
+        }
+        print_int((grid[round] + peek8(ent)) % 1000003);
+    }
+    total = 0;
+    for (i = 0; i < 2048; i = i + 1) { total = total + grid[i]; }
+    print_int(total);
+}
+""",
+    "scatter": """
+global grid[2048];
+global ent[1];
+func main() {
+    var i; var round; var h; var total;
+    srand64(11);
+    for (round = 0; round < 18; round = round + 1) {
+        getrandom(ent, 8);
+        h = peek8(ent) + 256 * round;
+        for (i = 0; i < 2048; i = i + 1) {
+            grid[(i * 7 + h) % 2048] = grid[(i * 7 + h) % 2048] + i + h;
+        }
+        print_int(grid[h % 2048]);
+    }
+    total = 0;
+    for (i = 0; i < 2048; i = i + 1) { total = total + grid[i] * (i + 1); }
+    print_int(total % 1000003);
+}
+""",
+    "cascade": """
+global grid[2048];
+global ent[1];
+func main() {
+    var i; var round; var carry; var total;
+    srand64(23);
+    for (round = 0; round < 16; round = round + 1) {
+        getrandom(ent, 8);
+        carry = peek8(ent);
+        for (i = 0; i < 2048; i = i + 1) {
+            carry = (grid[i] + carry * 31 + round) % 1000003;
+            grid[i] = carry;
+        }
+        print_int(carry);
+    }
+    total = 0;
+    for (i = 0; i < 2048; i = i + 1) { total = total + grid[i]; }
+    print_int(total);
+}
+""",
+}
+
+
+def make_config():
+    config = ParallaftConfig()
+    config.slicing_period = CAMPAIGN_PERIOD
+    config.enable_recovery = True
+    return config
+
+
+def run_arm(hardening):
+    results = {}
+    for seed, (name, source) in enumerate(sorted(WORKLOADS.items())):
+        results[name] = run_infra_campaign(
+            compile_source(source), make_config, apple_m2,
+            injections_per_kind=INJECTIONS_PER_KIND,
+            hardening=hardening, seed=seed + 1, benchmark_name=name)
+    return results
+
+
+@pytest.fixture(scope="module")
+def unhardened():
+    return run_arm(hardening=False)
+
+
+@pytest.fixture(scope="module")
+def hardened():
+    return run_arm(hardening=True)
+
+
+def _kind_totals(results, kind):
+    campaigns = [per[kind] for per in results.values()]
+    injected = sum(c.total for c in campaigns)
+    sdc = sum(c.count(Outcome.SDC) for c in campaigns)
+    return injected, sdc
+
+
+def test_unhardened_infrastructure_faults_escape(unhardened):
+    print("\n=== infrastructure-fault campaign, hardening OFF ===")
+    print(render_infra_campaign(unhardened))
+    for kind in INFRA_KINDS:
+        injected, _ = _kind_totals(unhardened, kind)
+        assert injected >= 3, f"{kind}: campaign too small"
+    # The headline: unprotected infrastructure lets corruption escape
+    # silently.  dirty-miss and log-corrupt are the reliable escapes;
+    # the other kinds are allowed (but not required) to escape too.
+    for kind in ("dirty-miss", "log-corrupt"):
+        _, sdc = _kind_totals(unhardened, kind)
+        assert sdc > 0, f"{kind}: expected silent escapes without hardening"
+
+
+def test_hardened_infrastructure_faults_never_escape(hardened):
+    print("\n=== infrastructure-fault campaign, hardening ON ===")
+    print(render_infra_campaign(hardened))
+    rows = []
+    for name, per_kind in sorted(hardened.items()):
+        for kind in INFRA_KINDS:
+            campaign = per_kind[kind]
+            assert campaign.total >= 1, f"{name}/{kind}: nothing landed"
+            # The acceptance bar: hardening drives SDC to exactly zero,
+            # per kind, per workload — not merely "lower".
+            assert campaign.count(Outcome.SDC) == 0, (
+                f"{name}/{kind}: {campaign.count(Outcome.SDC)} silent "
+                f"escape(s) survived hardening")
+            rows.append(f"{name:10s} {kind:20s} n={campaign.total}  "
+                        f"sdc=0  detected "
+                        f"{100 * campaign.detected_fraction:5.1f}%")
+    print_rows("hardening closes every escape channel", rows,
+               "SDC == 0 for every kind once integrity layers are on")
+
+
+def test_hardening_reduces_escape_rate(unhardened, hardened):
+    total_soft = sum(c.count(Outcome.SDC)
+                     for per in unhardened.values() for c in per.values())
+    total_hard = sum(c.count(Outcome.SDC)
+                     for per in hardened.values() for c in per.values())
+    assert total_soft > 0
+    assert total_hard == 0

@@ -9,19 +9,33 @@ with output byte-identical to a fault-free run.
 
     python examples/recovery_demo.py
     python examples/recovery_demo.py --trace /tmp/recovery_trace.json
+    python examples/recovery_demo.py --infra
 
 ``--trace`` exports the recovery run's event trace as Chrome trace_event
 JSON (load it in Perfetto / about://tracing) and prints the tail of the
 text timeline — rollback, console truncation and re-execution included.
+
+``--infra`` attacks the *protector* instead of the program: one bit is
+flipped in a stored record/replay log entry (``repro.faults.infra``
+log-corrupt model).  Without hardening, the rotten record makes the
+checker diverge, recovery wrongly blames the innocent main, and the
+rollback re-draws ``getrandom`` entropy — the run ends "clean" with
+silently different output.  With ``log_checksums`` on, the corruption is
+caught at the record itself, reported as a typed ``log_integrity`` error,
+and no rollback ever runs.
 """
 
 import argparse
 
 from repro import Parallaft, ParallaftConfig, compile_source
-from repro.faults import FaultInjector, Outcome, TARGET_MAIN
+from repro.core.rr_log import SyscallRecord
+from repro.faults import FaultInjector, Outcome, TARGET_MAIN, classify_run
+from repro.faults.infra import (INFRA_LOG_CORRUPT, InfraFaultController,
+                                InfraFaultSite, harden)
 from repro.harness.report import render_timeline
 from repro.sim import apple_m2
 from repro.trace import InvariantChecker
+from repro.trace import events as tev
 
 WORKLOAD = """
 global grid[256];
@@ -42,11 +56,100 @@ func main() {
 """
 
 
+# The --infra workload consumes kernel entropy each round: a *wrongful*
+# rollback re-executes getrandom, draws fresh entropy, and finishes with
+# silently different output — the escape the hardened arm must close.
+INFRA_WORKLOAD = """
+global grid[1024];
+global ent[1];
+
+func main() {
+    var i; var round;
+    for (round = 0; round < 12; round = round + 1) {
+        getrandom(ent, 8);
+        for (i = 0; i < 1024; i = i + 1) {
+            grid[i] = grid[i] * 7 + round - i;
+        }
+        print_int((grid[round] + peek8(ent)) % 1000003);
+    }
+}
+"""
+
+
 def make_config(recovery=True):
     config = ParallaftConfig()
     config.slicing_period = 400_000_000
     config.enable_recovery = recovery
     return config
+
+
+def make_infra_config(hardened):
+    config = ParallaftConfig()
+    config.slicing_period = 12_000_000_000
+    config.enable_recovery = True
+    if hardened:
+        harden(config)
+    return config
+
+
+def run_infra_arm(site_kwargs, hardened):
+    runtime = Parallaft(compile_source(INFRA_WORKLOAD),
+                        config=make_infra_config(hardened),
+                        platform=apple_m2())
+    InfraFaultController(runtime, InfraFaultSite(**site_kwargs))
+    return runtime.run(), runtime
+
+
+def run_infra_demo():
+    reference_rt = Parallaft(compile_source(INFRA_WORKLOAD),
+                             config=make_infra_config(hardened=False),
+                             platform=apple_m2())
+    reference = reference_rt.run()
+    print("fault-free run:")
+    print(f"  output tail {reference.stdout.split()[-1]!r}, "
+          f"{len(reference.stdout.splitlines())} lines")
+
+    # Target the last entropy record of segment 1: its output_data is
+    # still live at the end-of-segment check, and bit 9 (byte 1) never
+    # reaches stdout, so the main's own output stays clean while the
+    # checker's replay diverges.
+    records = reference_rt.segments[1].log.records
+    rank = max(index for index, record in enumerate(records)
+               if isinstance(record, SyscallRecord) and record.output_data)
+    site = dict(kind=INFRA_LOG_CORRUPT, segment_index=1, bit=9,
+                record_rank=rank, field_rank=1)
+    print(f"\ninfra fault: flip one bit in stored log record {rank} of "
+          "segment 1 (a getrandom result)")
+
+    print("\nunhardened arm — the protector trusts its own log:")
+    soft, _ = run_infra_arm(site, hardened=False)
+    outcome = classify_run(soft, reference)
+    print(f"  errors surfaced      : {len(soft.errors)}")
+    print(f"  rollbacks            : {soft.recovery_rollbacks} "
+          "(recovery wrongly blamed the innocent main)")
+    print(f"  output == reference  : {soft.stdout == reference.stdout}")
+    print(f"  outcome              : {outcome.value} "
+          "(silent data corruption — no error on the books)")
+    assert outcome is Outcome.SDC
+    assert not soft.errors and soft.recovery_rollbacks >= 1
+
+    print("\nhardened arm — per-record checksums (log_checksums=True):")
+    hard, hard_rt = run_infra_arm(site, hardened=True)
+    error = hard.errors[0]
+    integrity_fails = list(hard_rt.trace.events(tev.INTEGRITY_FAIL))
+    print(f"  detected             : {error.kind} in segment "
+          f"{error.segment_index}")
+    print(f"  rollbacks            : {hard.recovery_rollbacks} "
+          "(integrity failures never roll back)")
+    print(f"  integrity_fail events: {len(integrity_fails)}")
+    assert error.kind == "log_integrity"
+    assert hard.recovery_rollbacks == 0 and integrity_fails
+    InvariantChecker(recovery=True).assert_ok(hard_rt.trace)
+
+    print("\nsame bit flip, opposite endings: unhardened it silently "
+          "corrupts the output through a wrongful\nrollback; hardened it "
+          "becomes a typed integrity error and the checkpoint stays "
+          "untouched.")
 
 
 def run_with_main_fault(recovery):
@@ -68,7 +171,13 @@ def main(argv=None):
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="export the recovery run's event trace as "
                              "Chrome trace_event JSON")
+    parser.add_argument("--infra", action="store_true",
+                        help="inject an infrastructure fault (log-corrupt) "
+                             "instead of an application fault and show the "
+                             "integrity-hardening detection")
     args = parser.parse_args(argv)
+    if args.infra:
+        return run_infra_demo()
     reference = Parallaft(compile_source(WORKLOAD),
                           config=make_config(recovery=False),
                           platform=apple_m2()).run()

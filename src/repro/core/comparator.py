@@ -6,6 +6,18 @@ the PC + all modified memory.  To avoid copying page contents between
 processes, Parallaft injects hasher code into both processes and compares
 XXH3-64 digests of the modified pages only; we model the same structure (and
 its cost) and also provide the full-memory strawman for the ablation.
+
+The comparator is itself part of the trusted computing base: a hash-path
+fault (or an engineered collision) makes two differing pages look equal and
+the corruption escapes silently.  ``redundant=True`` (config knob
+``redundant_compare``) runs a second, independent hash path over the same
+pages; a verdict disagreement between the two paths implicates the
+comparator — not the application — and is reported with reason
+``"integrity"`` so the runtime fail-stops instead of "recovering" on
+untrusted evidence.  The module also hosts the checkpoint integrity
+helpers: :func:`state_digest` (whole-process digest for retained recovery
+checkpoints) and :func:`audit_clean_pages` (spot check that the dirty
+tracker did not under-report).
 """
 
 from __future__ import annotations
@@ -54,13 +66,30 @@ class ComparisonResult:
                 shown += f", +{extra} more"
             return (f"{len(self.mismatched_vpns)} dirty page(s) diverge "
                     f"(vpn {shown})")
+        if self.reason == "integrity":
+            return ("comparator hash paths disagree — digest logic is "
+                    "untrusted, verdict discarded")
         return self.reason
 
 
 class StateComparator:
-    def __init__(self, strategy: ComparisonStrategy, page_size: int):
+    def __init__(self, strategy: ComparisonStrategy, page_size: int,
+                 redundant: bool = False):
         self.strategy = strategy
         self.page_size = page_size
+        #: Second, independent hash path (``redundant_compare``): a verdict
+        #: disagreement between paths is a comparator fault, not an
+        #: application divergence.
+        self.redundant = redundant
+        #: Fault-injection hook (``repro.faults.infra`` digest-corrupt
+        #: model): when armed, the *primary* digest path of the next
+        #: ``compare`` call reports "equal" no matter what actually
+        #: diverged — the comparator reduces (pc, registers, pages) to
+        #: digests, so a faulted digest path forges the whole verdict,
+        #: whichever stage the divergence lives in.  Consumed
+        #: (read-and-cleared) at compare entry so an early-stage return
+        #: cannot leak it into a later segment's comparison.
+        self.fault_next_digest_collision = False
 
     def compare(self, checker: Process, checkpoint: Process,
                 dirty_vpns: Optional[Set[int]] = None) -> ComparisonResult:
@@ -71,11 +100,15 @@ class StateComparator:
         frames with the segment-start state on both sides and are equal by
         construction (tested by ``test_dirty_union_equals_full_compare``).
         """
+        collision = self.fault_next_digest_collision
+        self.fault_next_digest_collision = False
         if checker.cpu.pc != checkpoint.cpu.pc:
-            return ComparisonResult(False, "pc", pc_mismatch=True)
+            result = ComparisonResult(False, "pc", pc_mismatch=True)
+            return self._collide(result) if collision else result
         if checker.cpu.regs.snapshot() != checkpoint.cpu.regs.snapshot():
-            return ComparisonResult(False, "registers",
-                                    register_mismatch=True)
+            result = ComparisonResult(False, "registers",
+                                      register_mismatch=True)
+            return self._collide(result) if collision else result
 
         if self.strategy == ComparisonStrategy.FULL_MEMORY:
             vpns = sorted(set(checker.mem.pages) | set(checkpoint.mem.pages))
@@ -105,11 +138,16 @@ class StateComparator:
             if left != right:
                 mismatched.append(vpn)
 
+        if self.redundant:
+            # Second independent pass over the same pages (cost doubles).
+            bytes_hashed *= 2
+
         if mismatched:
-            return ComparisonResult(False, "memory",
-                                    mismatched_vpns=mismatched,
-                                    bytes_hashed=bytes_hashed,
-                                    pages_compared=len(vpns))
+            result = ComparisonResult(False, "memory",
+                                      mismatched_vpns=mismatched,
+                                      bytes_hashed=bytes_hashed,
+                                      pages_compared=len(vpns))
+            return self._collide(result) if collision else result
         if checker_hash.digest() != checkpoint_hash.digest():
             # Unreachable unless the hash itself is broken; kept for rigor.
             return ComparisonResult(False, "hash", bytes_hashed=bytes_hashed,
@@ -117,8 +155,93 @@ class StateComparator:
         return ComparisonResult(True, bytes_hashed=bytes_hashed,
                                 pages_compared=len(vpns))
 
+    def _collide(self, truth: ComparisonResult) -> ComparisonResult:
+        """Apply an armed digest-path fault to a true-mismatch verdict.
+
+        Unhardened, the faulted primary path reports "equal" and the
+        divergence escapes silently — the SDC channel the infra campaign
+        measures.  With the redundant path on, the second (unfaulted)
+        path still sees the divergence: two paths, two verdicts — the
+        comparator itself is implicated and the verdict is discarded.
+        """
+        if self.redundant:
+            return ComparisonResult(False, "integrity",
+                                    mismatched_vpns=truth.mismatched_vpns,
+                                    register_mismatch=truth.register_mismatch,
+                                    pc_mismatch=truth.pc_mismatch,
+                                    bytes_hashed=truth.bytes_hashed,
+                                    pages_compared=truth.pages_compared)
+        return ComparisonResult(True, bytes_hashed=truth.bytes_hashed,
+                                pages_compared=truth.pages_compared)
+
     @staticmethod
     def _page_or_none(proc: Process, vpn: int) -> Optional[bytes]:
         if vpn in proc.mem.pages:
             return proc.mem.page_bytes(vpn)
         return None
+
+
+def state_digest(proc: Process) -> Tuple[int, int]:
+    """Whole-process integrity digest: PC + register file + every mapped
+    page, vpn-tagged.  Returns ``(digest, bytes_digested)`` so the caller
+    can charge the hashing cost.
+
+    Taken over a retained recovery checkpoint at fork time
+    (``checkpoint_digests``) and recomputed before the checkpoint is ever
+    trusted on the error path: a mismatch means bits rotted while the
+    checkpoint sat paused, and promoting it would "recover" into a corrupt
+    timeline.
+    """
+    hasher = Xxh3_64()
+    hasher.update(proc.cpu.pc.to_bytes(8, "little"))
+    regs = repr(proc.cpu.regs.snapshot()).encode()
+    hasher.update(regs)
+    digested = 8 + len(regs)
+    for vpn in sorted(proc.mem.pages):
+        data = proc.mem.page_bytes(vpn)
+        hasher.update(vpn.to_bytes(8, "little"))
+        hasher.update(data)
+        digested += len(data)
+    return hasher.digest(), digested
+
+
+def audit_clean_pages(checker: Process, checkpoint: Process,
+                      trusted_dirty: Set[int],
+                      limit: int) -> Tuple[List[int], List[int], int]:
+    """Cross-check supposedly-clean pages against the end checkpoint.
+
+    The dirty-page union is itself produced by the (fallible) tracker; a
+    dropped vpn makes the comparator skip a truly-modified page.  This
+    audit looks at pages *outside* the trusted union whose frames diverge
+    between checker and checkpoint — in a fault-free run every
+    frame-divergent page was written on some side and therefore *is* in
+    the union, so any frame-divergent page missing from it is exactly the
+    tracker-under-reporting signature.  Up to ``limit`` suspicious pages
+    are byte-compared (frame divergence alone is not proof: an untouched
+    page can sit in re-COWed but byte-equal frames after a fork chain).
+
+    Returns ``(audited_vpns, mismatched_vpns, bytes_compared)``.
+    """
+    suspicious: List[int] = []
+    for vpn in sorted(set(checker.mem.pages) | set(checkpoint.mem.pages)):
+        if vpn in trusted_dirty:
+            continue
+        if vpn not in checker.mem.pages or vpn not in checkpoint.mem.pages:
+            suspicious.append(vpn)
+            continue
+        if checker.mem.frame_id(vpn) != checkpoint.mem.frame_id(vpn):
+            suspicious.append(vpn)
+    audited = suspicious[:limit] if limit else []
+    mismatched: List[int] = []
+    bytes_compared = 0
+    for vpn in audited:
+        left = StateComparator._page_or_none(checker, vpn)
+        right = StateComparator._page_or_none(checkpoint, vpn)
+        if left is None or right is None:
+            if left is not right:
+                mismatched.append(vpn)
+            continue
+        bytes_compared += 2 * len(left)
+        if left != right:
+            mismatched.append(vpn)
+    return audited, mismatched, bytes_compared

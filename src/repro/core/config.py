@@ -129,6 +129,34 @@ class ParallaftConfig:
     mask_vdso: bool = True
     mask_rseq: bool = True
 
+    # -- integrity hardening against *infrastructure* faults ---------------
+    # The detection machinery itself (dirty tracker, R/R log, retained
+    # checkpoints, comparator digests) is a single point of failure the
+    # paper assumes perfect.  These knobs defend it; their value is
+    # measured as SDC-escape-rate reduction by ``repro.faults.infra``.
+
+    #: Stamp every R/R record with a monotonic sequence number and a
+    #: content checksum at append time, verified before the replay cursor
+    #: consumes it.  Failure reports ``log_integrity`` — a checker-side
+    #: transient (the log copy is suspect, not the main), retried from the
+    #: retained checkpoint and never rolled back.
+    log_checksums: bool = False
+    #: Digest the retained recovery checkpoint (registers + all mapped
+    #: pages) at fork time and re-verify before the checkpoint is ever
+    #: trusted — on the error path before retry/rollback.  A mismatch
+    #: means saved state is untrusted: fail-stop with ``infra_integrity``.
+    checkpoint_digests: bool = False
+    #: At each passing segment check, byte-audit up to this many
+    #: supposedly-clean pages (frame-divergent between checker and end
+    #: checkpoint yet absent from the dirty union) to catch dirty-tracker
+    #: under-reporting.  0 disables the audit.
+    clean_page_audit: int = 0
+    #: Run a second, independent hash path over the compared pages; if the
+    #: two paths disagree on a verdict the comparator itself is faulty —
+    #: reported as ``infra_integrity`` (fail-stop), never as an
+    #: application mismatch.
+    redundant_compare: bool = False
+
     #: Structured event tracing (``repro.trace``): every lifecycle event
     #: lands in a bounded ring buffer, exportable as Chrome trace_event
     #: JSON and replayable through the offline invariant checker.
@@ -171,6 +199,8 @@ class ParallaftConfig:
                 "recovery requires state comparison (compare_state)")
         if self.trace_capacity < 1:
             raise RuntimeConfigError("trace_capacity must be >= 1")
+        if self.clean_page_audit < 0:
+            raise RuntimeConfigError("clean_page_audit must be >= 0")
 
     @property
     def retains_recovery_checkpoint(self) -> bool:

@@ -16,7 +16,7 @@ construction.  Two backends, matching the paper:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
 from repro.core.config import DirtyPageBackend
 from repro.kernel.process import Process
@@ -29,6 +29,14 @@ class DirtyPageTracker:
         #: pages scanned/cleared so far (cost accounting)
         self.pages_cleared = 0
         self.pages_scanned = 0
+        #: Fault-injection hook (``repro.faults.infra`` dirty-miss model):
+        #: vpns silently dropped from every scan, modeling a stuck/lost
+        #: soft-dirty bit or a PAGEMAP_SCAN under-report.  The tracker is
+        #: shared by the main's finalize scan and the checker's replay
+        #: scan, so a suppressed vpn vanishes from the comparison union
+        #: entirely — the escape channel ``clean_page_audit`` defends.
+        self.suppressed_vpns: Set[int] = set()
+        self.suppressed_hits = 0
 
     def begin_segment(self, proc: Process) -> int:
         """Reset tracking at a segment start; returns pages touched (cost).
@@ -47,5 +55,11 @@ class DirtyPageTracker:
         """Pages of ``proc`` modified since its segment began."""
         self.pages_scanned += proc.mem.mapped_pages
         if self.backend == DirtyPageBackend.SOFT_DIRTY:
-            return proc.mem.soft_dirty_vpns()
-        return proc.mem.map_count_dirty_vpns()
+            vpns = proc.mem.soft_dirty_vpns()
+        else:
+            vpns = proc.mem.map_count_dirty_vpns()
+        if self.suppressed_vpns:
+            kept = [v for v in vpns if v not in self.suppressed_vpns]
+            self.suppressed_hits += len(vpns) - len(kept)
+            return kept
+        return vpns

@@ -6,11 +6,22 @@ output data), signals (with the execution point of delivery), and
 nondeterministic instructions (pc + value).  A checker replaying the segment
 consumes the records in order; any disagreement between what the checker
 does and what was recorded is a detected divergence.
+
+Replay correctness hinges entirely on log integrity (rr makes the same
+assumption explicit): a flipped bit in a stored record silently poisons
+the checker's view of the world.  With ``ParallaftConfig.log_checksums``
+on, :meth:`RrLog.append` stamps each record with a monotonic sequence
+number and a content checksum; :func:`verify_record` re-checks both just
+before the cursor consumes the record, so corruption (or reordering /
+splicing) surfaces as a typed ``log_integrity`` error instead of a bogus
+replay divergence — or worse, a silent escape.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
+
+from repro.hashing import Xxh3_64
 
 
 class Record:
@@ -83,6 +94,52 @@ class NondetRecord(Record):
         return f"NondetRecord(pc={self.pc:#x}, value={self.value})"
 
 
+def record_checksum(record: Record) -> int:
+    """Content checksum over every replay-relevant field of a record.
+
+    The field tuple is serialized via ``repr`` — stable for the int /
+    bytes / tuple payloads records carry, and independent of object
+    identity — and hashed with the same XXH3-64 the comparator uses.
+    """
+    hasher = Xxh3_64()
+    hasher.update(record.kind.encode())
+    if record.kind == "syscall":
+        fields = (record.sysno, record.args, record.classification,
+                  record.input_data, record.result, record.output_addr,
+                  record.output_data, record.replay_passthrough,
+                  record.fixed_args)
+    elif record.kind == "signal":
+        fields = (record.signo, record.external, repr(record.exec_point))
+    elif record.kind == "nondet":
+        fields = (record.pc, record.opcode, record.value)
+    else:  # pragma: no cover - no other kinds exist
+        fields = ()
+    hasher.update(repr(fields).encode())
+    return hasher.digest()
+
+
+def verify_record(record: Record, position: int) -> Optional[str]:
+    """Check a record's integrity metadata just before replay consumes it.
+
+    Returns ``None`` when the record is intact, else a human-readable
+    description of the violation (missing metadata, sequence break, or
+    checksum mismatch).
+    """
+    seq = getattr(record, "seq", None)
+    stored = getattr(record, "checksum", None)
+    if seq is None or stored is None:
+        return (f"record {position} ({record.kind}) carries no integrity "
+                f"metadata")
+    if seq != position:
+        return (f"record {position} ({record.kind}) has sequence number "
+                f"{seq} — log reordered or spliced")
+    actual = record_checksum(record)
+    if actual != stored:
+        return (f"record {position} ({record.kind}) checksum mismatch: "
+                f"stored {stored:#018x}, recomputed {actual:#018x}")
+    return None
+
+
 class RrLog:
     """Ordered record stream for one segment, with per-checker cursor."""
 
@@ -90,12 +147,20 @@ class RrLog:
         self.records: List[Record] = []
         #: Bytes of syscall data captured (drives recording cost, §5.7).
         self.bytes_recorded = 0
+        #: When on (``ParallaftConfig.log_checksums``), ``append`` stamps
+        #: each record with ``seq``/``checksum`` integrity metadata.
+        self.integrity = False
 
     def __len__(self) -> int:
         return len(self.records)
 
     def append(self, record: Record) -> None:
         self.records.append(record)
+        if self.integrity:
+            # The runtime appends on syscall *exit*, after result/output
+            # fields are final, so the checksum covers the stored values.
+            record.seq = len(self.records) - 1
+            record.checksum = record_checksum(record)
 
     def cursor(self) -> "RrCursor":
         return RrCursor(self)

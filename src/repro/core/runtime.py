@@ -23,7 +23,11 @@ from repro import abi
 from repro.common.errors import ReproError, SimulationError
 from repro.core import syscall_model
 from repro.core.checker_sched import CheckerScheduler
-from repro.core.comparator import StateComparator
+from repro.core.comparator import (
+    StateComparator,
+    audit_clean_pages,
+    state_digest,
+)
 from repro.core.config import (
     DirtyPageBackend,
     ExecPointCounter,
@@ -38,7 +42,12 @@ from repro.core.exec_point import (
     ReplayStop,
     ReplayStopKind,
 )
-from repro.core.rr_log import NondetRecord, SignalRecord, SyscallRecord
+from repro.core.rr_log import (
+    NondetRecord,
+    SignalRecord,
+    SyscallRecord,
+    verify_record,
+)
 from repro.core.segment import Segment, SegmentStatus
 from repro.core.stats import DetectedError, RunStats
 from repro.cpu.exceptions import Stop, StopReason
@@ -94,8 +103,9 @@ class Parallaft(Tracer):
                        else DirtyPageBackend.MAP_COUNT)
         self.dirty_tracker = DirtyPageTracker(backend,
                                               self.platform.page_size)
-        self.comparator = StateComparator(self.config.comparison,
-                                          self.platform.page_size)
+        self.comparator = StateComparator(
+            self.config.comparison, self.platform.page_size,
+            redundant=self.config.redundant_compare)
         self.sched = CheckerScheduler(self.executor, self.config, self.stats)
         self.slicing_unit = (self.config.slicing_unit
                              or self.platform.slicing_unit)
@@ -118,8 +128,17 @@ class Parallaft(Tracer):
         self._main_stalled_on_cap = False
         self._main_stalled_for_containment = False
         self._terminated = False
+        #: Latched at the first INTEGRITY_FAIL emission: saved state (or
+        #: the comparator) proved untrusted, so no rollback may ever run
+        #: after this point — promoting evidence the run just proved
+        #: rotten is how an infra fault becomes a corrupt timeline.
+        self._integrity_failed = False
         #: Per-quantum hooks (fault injection attaches here).
         self.quantum_hooks: List[Callable[[Process, str], None]] = []
+        #: Pre-comparison hooks, called with the segment about to be
+        #: compared (the infra campaign's digest-fault model arms the
+        #: comparator here).
+        self.compare_hooks: List[Callable[[Segment], None]] = []
 
     # ------------------------------------------------------------------ setup
 
@@ -195,6 +214,7 @@ class Parallaft(Tracer):
         self.segment_of_checker[checker.pid] = segment
         self.segments.append(segment)
         self.current = segment
+        segment.log.integrity = self.config.log_checksums
         self.stats.checkpoint_count += 1
         self._emit(tev.SEGMENT_START, proc=main, segment=segment.index,
                    checker_pid=checker.pid)
@@ -211,6 +231,15 @@ class Parallaft(Tracer):
             self.executor.charge(main, cost)
             self.roles[recovery.pid] = "checkpoint"
             segment.recovery_checkpoint = recovery
+            if self.config.checkpoint_digests:
+                # Digest the checkpoint while it is known-good (it *is*
+                # the main, fork-instant); re-verified before any error
+                # path trusts it.  Hashing is on the main's critical path,
+                # like the fork itself.
+                digest, nbytes = state_digest(recovery)
+                segment.checkpoint_digest = digest
+                self.executor.charge(main,
+                                     self.kernel.costs.hash_cycles(nbytes))
         if self.config.compare_state:
             pages = self.dirty_tracker.begin_segment(main)
             self.executor.charge(main,
@@ -279,6 +308,12 @@ class Parallaft(Tracer):
                              * self.config.checker_timeout_scale) + 64)
             checker.cpu.arm_instr_overflow(timeout)
         self._emit(tev.SEGMENT_RELEASE, proc=checker, segment=segment.index)
+        if self.config.log_checksums and len(segment.log):
+            # Marker: this replay verifies N checksummed records; failures
+            # surface as INTEGRITY_FAIL at the consuming site.
+            self._emit(tev.INTEGRITY_CHECK, proc=checker,
+                       segment=segment.index, check="log",
+                       records=len(segment.log))
         if self.config.mode != RuntimeMode.RAFT:
             self.sched.submit(segment)
         segment.replayer.arm_next()
@@ -346,16 +381,93 @@ class Parallaft(Tracer):
             if (record is None or record.kind != "signal" or record.external
                     or record.signo not in checker.signal_handlers):
                 return
+            problem = self._log_record_problem(segment)
+            if problem is not None:
+                self._report_log_integrity(segment, problem)
+                return
             segment.cursor.next()
             self.kernel.deliver_signal_now(checker, record.signo)
+
+    # --------------------------------------------------------- integrity checks
+
+    def _integrity_fail(self, check: str, segment: Optional[Segment],
+                        detail: str) -> None:
+        """An integrity check failed: latch the no-rollback flag and emit
+        the INTEGRITY_FAIL trace event (the invariant checker asserts no
+        ROLLBACK ever follows one of these)."""
+        self._integrity_failed = True
+        self.stats.integrity_failures += 1
+        self._emit(tev.INTEGRITY_FAIL,
+                   segment=segment.index if segment is not None else None,
+                   check=check, detail=detail)
+
+    def _checkpoint_integrity_ok(self, segment: Segment) -> bool:
+        """Re-verify the retained recovery checkpoint's fork-time digest.
+
+        Called before any error path trusts the checkpoint (retry forks
+        from it; rollback promotes it to be the new main).  A mismatch
+        means bits rotted while the checkpoint sat paused — promotion
+        would "recover" into a corrupt timeline, so the caller must
+        fail-stop instead.
+        """
+        if not self.config.checkpoint_digests:
+            return True
+        checkpoint = segment.recovery_checkpoint
+        if checkpoint is None or segment.checkpoint_digest is None:
+            return True
+        digest, nbytes = state_digest(checkpoint)
+        self.stats.integrity_checks += 1
+        if self.main is not None and self.main.alive:
+            self.executor.charge(self.main,
+                                 self.kernel.costs.hash_cycles(nbytes))
+        ok = digest == segment.checkpoint_digest
+        self._emit(tev.INTEGRITY_CHECK, segment=segment.index,
+                   check="checkpoint", ok=ok)
+        if not ok:
+            self._integrity_fail(
+                "checkpoint", segment,
+                f"recovery checkpoint of segment {segment.index} failed "
+                f"its fork-time integrity digest")
+        return ok
+
+    def _log_record_problem(self, segment: Segment) -> Optional[str]:
+        """Verify the record the cursor is about to consume; returns a
+        violation description, or None when intact / verification is off."""
+        if not self.config.log_checksums:
+            return None
+        record = segment.cursor.peek()
+        if record is None:
+            return None
+        self.stats.integrity_checks += 1
+        return verify_record(record, segment.cursor.position)
+
+    def _report_log_integrity(self, segment: Segment, problem: str) -> None:
+        """A record failed verification at replay: the log *copy* is
+        suspect (checker-side transient), reported as ``log_integrity`` —
+        retried from the retained checkpoint, never rolled back."""
+        self._integrity_fail("log", segment, problem)
+        self._report_error("log_integrity", segment, problem)
 
     # ------------------------------------------------------------- error handling
 
     def _report_error(self, kind: str, segment: Optional[Segment],
                       detail: str = "") -> None:
-        # A recovery-watchdog trip means recovery itself failed: neither
-        # re-checking nor another rollback may absorb it.
-        recoverable = kind != "recovery_watchdog"
+        # A recovery-watchdog trip means recovery itself failed; an
+        # infra_integrity error means saved state (or the comparator) is
+        # untrusted.  Neither re-checking nor a rollback may absorb them.
+        recoverable = kind not in ("recovery_watchdog", "infra_integrity")
+        if (recoverable and segment is not None
+                and self.config.retains_recovery_checkpoint
+                and segment.recovery_checkpoint is not None
+                and not self._checkpoint_integrity_ok(segment)):
+            # Every recovery path below would trust this checkpoint (retry
+            # forks from it, rollback promotes it); it just failed its
+            # digest, so escalate to an integrity fail-stop instead.
+            detail = (f"recovery checkpoint of segment {segment.index} "
+                      f"failed integrity verification while handling "
+                      f"{kind}: {detail}")
+            kind = "infra_integrity"
+            recoverable = False
         if (recoverable and segment is not None
                 and self.config.retains_recovery_checkpoint
                 and segment.retries < self.config.max_checker_retries
@@ -367,7 +479,8 @@ class Parallaft(Tracer):
             # main-side fault persists into the next _report_error call.
             self._retry_segment_check(segment, kind)
             return
-        if (recoverable and self.recovery is not None and segment is not None
+        if (recoverable and not self._integrity_failed
+                and self.recovery is not None and segment is not None
                 and self.recovery.on_check_failed(segment, kind, detail)):
             # The main was implicated and rolled back to the last verified
             # checkpoint: the error is absorbed, not reported.
@@ -389,7 +502,10 @@ class Parallaft(Tracer):
         # stalled behind the failed segment sleeps forever when
         # stop_on_error is off.
         self._maybe_wake_stalled_main()
-        if self.config.stop_on_error:
+        if self.config.stop_on_error or kind == "infra_integrity":
+            # Graceful degradation: once integrity is gone the run cannot
+            # vouch for anything it would produce next — fail-stop even
+            # when the user asked to continue past application errors.
             self._terminate_application()
 
     def _retry_segment_check(self, segment: Segment, kind: str) -> None:
@@ -587,6 +703,12 @@ class Parallaft(Tracer):
             self._report_error("syscall_divergence", segment,
                                f"checker issued extra syscall {sysno}")
             return SyscallAction.emulate(-abi.ENOSYS)
+        problem = self._log_record_problem(segment)
+        if problem is not None:
+            # Verify *before* the kind/args checks: a corrupted record
+            # must surface as a log fault, not as a bogus app divergence.
+            self._report_log_integrity(segment, problem)
+            return SyscallAction.emulate(-abi.ENOSYS)
         if record.kind != "syscall":
             self._report_error("syscall_divergence", segment,
                                f"expected {record.kind} record, checker "
@@ -705,6 +827,11 @@ class Parallaft(Tracer):
             if record is None and segment.end_point is None:
                 self._stall_checker(proc)
                 return
+            if record is not None:
+                problem = self._log_record_problem(segment)
+                if problem is not None:
+                    self._report_log_integrity(segment, problem)
+                    return
             if (record is None or record.kind != "nondet"
                     or record.pc != pc):
                 self._report_error(
@@ -762,6 +889,11 @@ class Parallaft(Tracer):
             if segment is None:
                 return True
             record = segment.cursor.peek()
+            if record is not None:
+                problem = self._log_record_problem(segment)
+                if problem is not None:
+                    self._report_log_integrity(segment, problem)
+                    return False
             if (record is not None and record.kind == "signal"
                     and record.signo == signo):
                 # The checker reproduced the main's own (internal) signal.
@@ -852,6 +984,8 @@ class Parallaft(Tracer):
         checker = segment.checker
         checkpoint = segment.end_checkpoint
         if self.config.compare_state:
+            for hook in self.compare_hooks:
+                hook(segment)
             union = set(segment.main_dirty_vpns)
             union.update(self.dirty_tracker.dirty_vpns(checker))
             self.executor.charge(checker, self.kernel.costs.dirty_scan_cycles(
@@ -862,9 +996,41 @@ class Parallaft(Tracer):
             self._emit(tev.COMPARISON, proc=checker, segment=segment.index,
                        match=result.match, bytes_hashed=result.bytes_hashed)
             if not result.match:
-                self._report_error("state_mismatch", segment,
-                                   result.describe())
+                if result.reason == "integrity":
+                    # The two hash paths disagreed: the comparator itself
+                    # is faulty, so no verdict it produced can be trusted
+                    # — including the ones that admitted earlier segments.
+                    self._integrity_fail("digest", segment,
+                                         result.describe())
+                    self._report_error("infra_integrity", segment,
+                                       result.describe())
+                else:
+                    self._report_error("state_mismatch", segment,
+                                       result.describe())
                 return
+            if self.config.clean_page_audit > 0:
+                audited, bad, audit_bytes = audit_clean_pages(
+                    checker, checkpoint, union,
+                    self.config.clean_page_audit)
+                self.stats.integrity_checks += 1
+                self.executor.charge(
+                    checker, self.kernel.costs.hash_cycles(audit_bytes))
+                self._emit(tev.INTEGRITY_CHECK, proc=checker,
+                           segment=segment.index, check="clean_page_audit",
+                           audited=len(audited), ok=not bad)
+                if bad:
+                    shown = ", ".join(hex(v) for v in bad[:4])
+                    detail = (f"clean-page audit: {len(bad)} page(s) "
+                              f"modified but missing from the dirty union "
+                              f"(vpn {shown}) — dirty tracking "
+                              f"under-reported")
+                    # The tracker lied, so this comparison (and any other
+                    # that trusted its union) proves nothing: integrity
+                    # fail-stop, not an application mismatch.
+                    self._integrity_fail("clean_page_audit", segment,
+                                         detail)
+                    self._report_error("infra_integrity", segment, detail)
+                    return
         segment.check_finished_time = self.executor.current_time
         segment.status = SegmentStatus.CHECKED
         self.stats.segments_checked += 1

@@ -73,6 +73,10 @@ class Segment:
         # check can be retried — or, with recovery, promoted to become the
         # new main after a rollback.
         self.recovery_checkpoint: Optional[Process] = None
+        #: Integrity digest of the recovery checkpoint taken at fork time
+        #: (``checkpoint_digests``); re-verified before the checkpoint is
+        #: trusted for a retry or promoted by a rollback.
+        self.checkpoint_digest: Optional[int] = None
         self.retries = 0
         #: Console/stderr buffer lengths at segment start, so a rollback
         #: can truncate output the discarded execution produced.

@@ -50,6 +50,10 @@ class RunStats:
     recovery_rollbacks: int = 0
     recovery_retries: int = 0         # diagnostic re-checks run by recovery
     recovery_wasted_cycles: float = 0.0   # discarded main+checker work
+    # counter.integrity.* — hardening checks run/failed (log checksums,
+    # checkpoint digests, clean-page audits, redundant compare verdicts)
+    integrity_checks: int = 0
+    integrity_failures: int = 0
     checker_migrations: int = 0
     checkers_finished_on_big: int = 0
     mmap_splits: int = 0
@@ -113,6 +117,8 @@ class RunStats:
             "counter.recovery.rollbacks": self.recovery_rollbacks,
             "counter.recovery.retries": self.recovery_retries,
             "counter.recovery.wasted_cycles": self.recovery_wasted_cycles,
+            "counter.integrity.checks": self.integrity_checks,
+            "counter.integrity.failures": self.integrity_failures,
             "work.checker_cycles_big": self.checker_cycles_big,
             "work.checker_cycles_little": self.checker_cycles_little,
             "work.big_core_work_fraction": self.big_core_work_fraction,

@@ -1,11 +1,26 @@
-"""Fault injection: campaigns, outcome classification (paper §5.6)."""
+"""Fault injection: campaigns, outcome classification (paper §5.6),
+plus infrastructure-fault campaigns attacking the protector itself
+(:mod:`repro.faults.infra`)."""
 
+from repro.faults.infra import (
+    INFRA_CHECKPOINT_CORRUPT,
+    INFRA_DIGEST_CORRUPT,
+    INFRA_DIRTY_MISS,
+    INFRA_KINDS,
+    INFRA_LOG_CORRUPT,
+    InfraFaultController,
+    InfraFaultSite,
+    InfraInjector,
+    harden,
+    run_infra_campaign,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.outcomes import (
     CampaignResult,
     ERROR_KIND_TO_OUTCOME,
     InjectionResult,
     Outcome,
+    classify_run,
 )
 from repro.faults.sites import (
     FaultSite,
@@ -22,8 +37,19 @@ __all__ = [
     "InjectionResult",
     "Outcome",
     "ERROR_KIND_TO_OUTCOME",
+    "classify_run",
     "KIND_MEMORY",
     "KIND_REGISTER",
     "TARGET_CHECKER",
     "TARGET_MAIN",
+    "INFRA_DIRTY_MISS",
+    "INFRA_LOG_CORRUPT",
+    "INFRA_CHECKPOINT_CORRUPT",
+    "INFRA_DIGEST_CORRUPT",
+    "INFRA_KINDS",
+    "InfraFaultSite",
+    "InfraFaultController",
+    "InfraInjector",
+    "harden",
+    "run_infra_campaign",
 ]

@@ -30,9 +30,9 @@ from repro.core import Parallaft, ParallaftConfig
 from repro.core.stats import RunStats
 from repro.faults.outcomes import (
     CampaignResult,
-    ERROR_KIND_TO_OUTCOME,
     InjectionResult,
     Outcome,
+    classify_run,
 )
 from repro.faults.sites import (
     FaultSite,
@@ -185,22 +185,11 @@ class FaultInjector:
     @staticmethod
     def _classify(stats: RunStats, reference_output: str,
                   reference_stderr: Optional[str] = None) -> Outcome:
-        if stats.errors:
-            kind = stats.errors[0].kind
-            return ERROR_KIND_TO_OUTCOME.get(kind, Outcome.DETECTED)
-        if stats.stdout != reference_output \
-                or (reference_stderr is not None
-                    and stats.stderr != reference_stderr):
-            # Tripwire: no error was reported yet the main's output is
-            # corrupt.  For checker-side campaigns this is unreachable;
-            # for main-side campaigns it means detection failed silently.
-            return Outcome.DETECTED
-        if stats.recovery_rollbacks > 0 or stats.checker_retries > 0:
-            # The run survived a detected fault: a rollback re-executed the
-            # corrupted region, or a checker retry absorbed it — and the
-            # output above already proved equal to the reference.
-            return Outcome.RECOVERED
-        return Outcome.BENIGN
+        """Delegates to :func:`repro.faults.outcomes.classify_run`; in
+        particular, output divergence with no reported error is an SDC
+        escape, *not* a detection (it used to be misfiled as DETECTED,
+        silently inflating ``detected_fraction``)."""
+        return classify_run(stats, reference_output, reference_stderr)
 
     # -- campaign ----------------------------------------------------------------
 

@@ -12,6 +12,13 @@
   main was rolled back to the last verified checkpoint and re-executed —
   and the program finished with output identical to the fault-free
   reference.
+* **SDC** — silent data corruption escaped the sphere of replication: the
+  end-of-run stdout/stderr differs from the fault-free reference and *no*
+  error was ever reported.  Unreachable for the paper's checker-side
+  campaign (the main is the oracle there); reachable for main-side faults
+  that evade comparison, and the headline metric for *infrastructure*
+  faults (:mod:`repro.faults.infra`), where the detection machinery itself
+  is under attack.
 * **Benign** — the fault had no observable effect: the program finished
   with correct output and all segment checks passed.
 """
@@ -28,13 +35,16 @@ class Outcome(enum.Enum):
     EXCEPTION = "exception"
     TIMEOUT = "timeout"
     RECOVERED = "recovered"
+    SDC = "sdc"
     BENIGN = "benign"
 
     @property
     def is_detected(self) -> bool:
-        """Every class except benign counts as a successful detection
-        (a recovered fault was detected first, then survived)."""
-        return self is not Outcome.BENIGN
+        """Every class except benign and SDC counts as a successful
+        detection (a recovered fault was detected first, then survived).
+        An SDC run is the opposite of a detection: the corruption escaped
+        with no error reported."""
+        return self not in (Outcome.BENIGN, Outcome.SDC)
 
     @property
     def is_survived(self) -> bool:
@@ -53,7 +63,39 @@ ERROR_KIND_TO_OUTCOME = {
     # Recovery gave up: the re-executed main blew its watchdog budget.
     # The fault was still detected, just not survived.
     "recovery_watchdog": Outcome.TIMEOUT,
+    # Integrity hardening tripped: a corrupted R/R record failed its
+    # checksum (retryable) or untrusted saved state forced a fail-stop.
+    # Both are successful detections of an infrastructure fault.
+    "log_integrity": Outcome.DETECTED,
+    "infra_integrity": Outcome.DETECTED,
 }
+
+
+def classify_run(stats, reference_stdout: str,
+                 reference_stderr: Optional[str] = None) -> Outcome:
+    """Classify one finished run against the fault-free reference.
+
+    Shared by the application-fault campaign (:class:`FaultInjector`) and
+    the infrastructure campaign (:mod:`repro.faults.infra`): a reported
+    error maps through :data:`ERROR_KIND_TO_OUTCOME`; silent output
+    divergence is an :attr:`Outcome.SDC` escape; a clean finish after a
+    rollback or checker retry is :attr:`Outcome.RECOVERED`.
+    """
+    if stats.errors:
+        kind = stats.errors[0].kind
+        return ERROR_KIND_TO_OUTCOME.get(kind, Outcome.DETECTED)
+    if stats.stdout != reference_stdout \
+            or (reference_stderr is not None
+                and stats.stderr != reference_stderr):
+        # No error was reported yet the committed output is corrupt: the
+        # fault escaped the sphere of replication silently.
+        return Outcome.SDC
+    if stats.recovery_rollbacks > 0 or stats.checker_retries > 0:
+        # The run survived a detected fault: a rollback re-executed the
+        # corrupted region, or a checker retry absorbed it — and the
+        # output above already proved equal to the reference.
+        return Outcome.RECOVERED
+    return Outcome.BENIGN
 
 
 @dataclass
@@ -111,6 +153,13 @@ class CampaignResult:
     @property
     def recovered_fraction(self) -> float:
         return self.fraction(Outcome.RECOVERED)
+
+    @property
+    def sdc_fraction(self) -> float:
+        """Silent escapes: corrupted output with no error reported.  The
+        headline metric for infrastructure-fault campaigns — hardening is
+        judged by how far it pushes this toward zero."""
+        return self.fraction(Outcome.SDC)
 
     @property
     def survived_fraction(self) -> float:

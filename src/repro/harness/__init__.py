@@ -4,6 +4,7 @@ from repro.harness.overhead import OverheadBreakdown, breakdown
 from repro.harness.periods import DURATION_COMPRESSION, effective_period
 from repro.harness.report import (
     render_breakdown,
+    render_infra_campaign,
     render_injection,
     render_memory,
     render_overheads,
@@ -36,4 +37,5 @@ __all__ = [
     "render_memory",
     "render_period_sweep",
     "render_injection",
+    "render_infra_campaign",
 ]

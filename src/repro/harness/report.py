@@ -134,3 +134,48 @@ def render_injection(campaigns: Dict[str, CampaignResult]) -> str:
                      sum(c.missed for c in campaigns.values())))
     return _table(("benchmark", "n", *(o.value for o in Outcome), "missed"),
                   rows)
+
+
+def render_infra_campaign(
+        results: Dict[str, Dict[str, CampaignResult]]) -> str:
+    """Infrastructure-fault coverage table (:mod:`repro.faults.infra`).
+
+    ``results`` maps benchmark name → fault kind → campaign.  One row per
+    (benchmark, kind) plus a per-kind aggregate block, with the SDC
+    column as the headline: the fraction of injections whose corruption
+    escaped silently.  Hardening is judged by this table — run it once
+    per arm and compare the sdc columns.
+    """
+    headers = ("benchmark", "kind", "n", "detected", "recovered", "sdc",
+               "benign", "missed")
+    rows = []
+    for name in sorted(results):
+        for kind in sorted(results[name]):
+            c = results[name][kind]
+            rows.append((name, kind, c.total,
+                         f"{100 * c.detected_fraction:.1f}%",
+                         f"{100 * c.recovered_fraction:.1f}%",
+                         f"{100 * c.sdc_fraction:.1f}%",
+                         f"{100 * c.fraction(Outcome.BENIGN):.1f}%",
+                         c.missed))
+    kinds = sorted({k for per in results.values() for k in per})
+    for kind in kinds:
+        campaigns = [per[kind] for per in results.values() if kind in per]
+        total = sum(c.total for c in campaigns)
+        if not total:
+            rows.append(("all", kind, 0, "-", "-", "-", "-",
+                         sum(c.missed for c in campaigns)))
+            continue
+
+        def agg(pick):
+            return (f"{100 * sum(pick(c) for c in campaigns) / total:.1f}%")
+
+        rows.append((
+            "all", kind, total,
+            agg(lambda c: sum(1 for r in c.injections
+                              if r.outcome.is_detected)),
+            agg(lambda c: c.count(Outcome.RECOVERED)),
+            agg(lambda c: c.count(Outcome.SDC)),
+            agg(lambda c: c.count(Outcome.BENIGN)),
+            sum(c.missed for c in campaigns)))
+    return _table(headers, rows)

@@ -110,12 +110,24 @@ class RecoveryManager:
         error was absorbed."""
         checkpoint = segment.recovery_checkpoint
         if (self.rt._terminated
-                or kind == "recovery_watchdog"
+                # A watchdog trip is recovery's own failure; the two
+                # integrity kinds mean saved state / the checking path is
+                # untrusted — rolling back onto it would launder the
+                # corruption into a "recovered" timeline.
+                or kind in ("recovery_watchdog", "log_integrity",
+                            "infra_integrity")
+                or self.rt._integrity_failed
                 or checkpoint is None
                 or checkpoint.state == ProcessState.DEAD
                 or self.rollbacks >= self.config.max_rollbacks
                 or self.rollback_streak
                 >= self.config.max_segment_reexecutions):
+            return False
+        if not self.rt._checkpoint_integrity_ok(segment):
+            # Defense in depth: the error path verifies the digest before
+            # dispatching here, but promotion is the single action that
+            # must never consume a rotten checkpoint — re-check at the
+            # last gate before _rollback trusts it.
             return False
         self._rollback(segment)
         return True

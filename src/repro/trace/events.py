@@ -57,6 +57,17 @@ Output commit and recovery:
 * ``console_truncate`` — rollback discarded output past a mark
 * ``rollback``         — the main was rolled back to a verified checkpoint
 * ``app_terminate``    — stop-on-error tore the application down
+
+Integrity hardening (config knobs ``log_checksums`` /
+``checkpoint_digests`` / ``clean_page_audit`` / ``redundant_compare``):
+
+* ``integrity_check`` — a hardening check ran (payload ``check``:
+  ``"log"`` | ``"checkpoint"`` | ``"clean_page_audit"`` | ``"digest"``,
+  plus ``ok``)
+* ``integrity_fail``  — an integrity check failed: saved state or the
+  comparator itself is untrusted.  From this point on the run must never
+  roll back (the no-ROLLBACK-after-INTEGRITY_FAIL invariant) — a
+  rollback would promote evidence the run just proved rotten.
 """
 
 from __future__ import annotations
@@ -105,6 +116,10 @@ CONSOLE_WRITE = "console_write"
 CONSOLE_TRUNCATE = "console_truncate"
 ROLLBACK = "rollback"
 APP_TERMINATE = "app_terminate"
+
+# Integrity hardening.
+INTEGRITY_CHECK = "integrity_check"
+INTEGRITY_FAIL = "integrity_fail"
 
 #: Kinds that end a segment's live interval (RECORDING/READY/CHECKING).
 SEGMENT_TERMINAL = (SEGMENT_CHECKED, SEGMENT_FAILED, SEGMENT_ROLLED_BACK)

@@ -21,6 +21,11 @@ the paper's correctness argument depends on:
 (e) **output commit** — under recovery, console bytes attributed to a
     segment that is later rolled back must be truncated away again
     (output never outlives its segment's verification).
+(f) **integrity** — no ``rollback`` event ever follows an
+    ``integrity_fail`` event: once an integrity check failed, every
+    retained checkpoint is untrusted and promoting one would launder the
+    corruption into a "recovered" timeline.  Checked unconditionally —
+    a dropped event can hide a violation but never fabricate one.
 
 Pairing-based invariants (b)–(d) are skipped when the ring buffer dropped
 events, since a dropped stall/assign would produce false positives.
@@ -40,9 +45,11 @@ from .events import (
     CONSOLE_WRITE,
     CORE_ASSIGN,
     CORE_UNASSIGN,
+    INTEGRITY_FAIL,
     MAIN_STALL,
     MAIN_WAKE,
     PROCESS_EXIT,
+    ROLLBACK,
     SEGMENT_READY,
     SEGMENT_ROLLED_BACK,
     SEGMENT_START,
@@ -99,9 +106,23 @@ class InvariantChecker:
         rolled_back: Set[int] = set()
         writes: List[_ConsoleWrite] = []
         app_terminated = False
+        integrity_failed: Optional[TraceEvent] = None
 
         for event in events:
             kind = event.kind
+
+            # -- (f) integrity: no rollback after an integrity failure --
+            if kind == INTEGRITY_FAIL:
+                if integrity_failed is None:
+                    integrity_failed = event
+            elif kind == ROLLBACK and integrity_failed is not None:
+                check = integrity_failed.payload.get("check", "?")
+                self._violate(
+                    "integrity",
+                    f"rollback at segment {event.segment} after an "
+                    f"integrity failure ({check} check at segment "
+                    f"{integrity_failed.segment}) — an untrusted "
+                    f"checkpoint was promoted", event)
 
             # -- live-segment bookkeeping -------------------------------
             if kind == SEGMENT_START and event.segment is not None:

@@ -1,0 +1,95 @@
+"""Dirty-tracking backend equivalence (paper §4.4).
+
+Parallaft uses soft-dirty PTE tracking on x86 and a mapcount-based scan
+on Apple Silicon; the correctness argument requires the two to be
+interchangeable — same dirty sets, same comparison verdicts, same
+output.  This suite runs the trace-invariant workload matrix under both
+backends and diffs everything observable: per-segment main dirty sets,
+per-segment comparison verdicts, stdout, and error lists.
+
+This is also the regression net for infrastructure-fault work on the
+tracker (``repro.faults.infra`` dirty-miss model): suppression must stay
+dormant by default, and neither backend may silently under- or
+over-report relative to the other.
+"""
+
+import pytest
+
+from repro.core import DirtyPageBackend, Parallaft, ParallaftConfig
+from repro.minic import compile_source
+from repro.sim import apple_m2
+from repro.trace import events as tev
+from test_trace_invariants import PRINT_LOOP, WIDE_PRINT_LOOP
+
+WORKLOADS = {
+    "print_loop": (PRINT_LOOP, 150_000_000),
+    "wide_print_loop": (WIDE_PRINT_LOOP, 80_000_000),
+}
+
+
+def run_with_backend(source, period, backend):
+    config = ParallaftConfig()
+    config.slicing_period = period
+    config.dirty_page_backend = backend
+    runtime = Parallaft(compile_source(source), config=config,
+                        platform=apple_m2())
+    stats = runtime.run()
+    return runtime, stats
+
+
+def comparison_verdicts(runtime):
+    return [(event.segment, event.payload["match"])
+            for event in runtime.trace.events(tev.COMPARISON)]
+
+
+@pytest.fixture(scope="module", params=sorted(WORKLOADS))
+def backend_pair(request):
+    source, period = WORKLOADS[request.param]
+    soft = run_with_backend(source, period, DirtyPageBackend.SOFT_DIRTY)
+    mapc = run_with_backend(source, period, DirtyPageBackend.MAP_COUNT)
+    return request.param, soft, mapc
+
+
+class TestBackendEquivalence:
+    def test_both_backends_finish_clean(self, backend_pair):
+        name, (_, soft_stats), (_, mapc_stats) = backend_pair
+        assert soft_stats.exit_code == 0 and mapc_stats.exit_code == 0
+        assert not soft_stats.errors and not mapc_stats.errors
+
+    def test_identical_output(self, backend_pair):
+        name, (_, soft_stats), (_, mapc_stats) = backend_pair
+        assert soft_stats.stdout == mapc_stats.stdout
+        assert soft_stats.stderr == mapc_stats.stderr
+
+    def test_identical_per_segment_dirty_sets(self, backend_pair):
+        name, (soft_rt, _), (mapc_rt, _) = backend_pair
+        assert len(soft_rt.segments) == len(mapc_rt.segments), (
+            f"{name}: backends sliced differently")
+        for soft_seg, mapc_seg in zip(soft_rt.segments, mapc_rt.segments):
+            assert (sorted(soft_seg.main_dirty_vpns)
+                    == sorted(mapc_seg.main_dirty_vpns)), (
+                f"{name}: segment {soft_seg.index} dirty sets diverge")
+
+    def test_dirty_sets_are_nonempty_where_writes_happened(
+            self, backend_pair):
+        """Equality of two empty sets proves nothing: the workloads write
+        globals every quantum, so almost every segment must report dirty
+        pages."""
+        name, (soft_rt, _), _ = backend_pair
+        nonempty = sum(1 for s in soft_rt.segments if s.main_dirty_vpns)
+        assert nonempty >= max(1, len(soft_rt.segments) - 1)
+
+    def test_identical_comparison_verdicts(self, backend_pair):
+        name, (soft_rt, _), (mapc_rt, _) = backend_pair
+        soft_verdicts = comparison_verdicts(soft_rt)
+        assert soft_verdicts == comparison_verdicts(mapc_rt)
+        assert soft_verdicts, f"{name}: no comparisons ran"
+        assert all(match for _, match in soft_verdicts)
+
+    def test_no_suppression_in_normal_runs(self, backend_pair):
+        """The fault-injection suppression hook must be inert unless an
+        infra campaign armed it."""
+        name, (soft_rt, _), (mapc_rt, _) = backend_pair
+        for runtime in (soft_rt, mapc_rt):
+            assert not runtime.dirty_tracker.suppressed_vpns
+            assert runtime.dirty_tracker.suppressed_hits == 0

@@ -113,6 +113,68 @@ class TestComparator:
                                     dirty_vpns={addr // PAGE})
         assert not result.match
 
+    def test_page_mapped_on_twin_side_only_mismatches(self):
+        """Asymmetry goes both ways: a page present only in the
+        *checkpoint* (right side) must mismatch just like one present
+        only in the checker — ``_page_or_none`` returns None for exactly
+        one side in either order."""
+        from repro.mem.address_space import (MAP_ANONYMOUS, MAP_FIXED,
+                                             MAP_PRIVATE, PROT_READ,
+                                             PROT_WRITE)
+        _, proc, twin = spawn_pair()
+        addr = twin.mem.mmap(0x3000_0000, PAGE, PROT_READ | PROT_WRITE,
+                             MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED)
+        comparator = StateComparator(ComparisonStrategy.DIRTY_HASH, PAGE)
+        result = comparator.compare(proc, twin, dirty_vpns={addr // PAGE})
+        assert not result.match
+        assert result.reason == "memory"
+        assert result.mismatched_vpns == [addr // PAGE]
+
+    def test_one_sided_mappings_mismatch_in_both_orders(self):
+        """Swapping the argument order must flip nothing: whichever side
+        lacks the page, the verdict is the same mismatch."""
+        from repro.mem.address_space import (MAP_ANONYMOUS, MAP_FIXED,
+                                             MAP_PRIVATE, PROT_READ,
+                                             PROT_WRITE)
+        _, proc, twin = spawn_pair()
+        addr = proc.mem.mmap(0x3000_0000, PAGE, PROT_READ | PROT_WRITE,
+                             MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED)
+        comparator = StateComparator(ComparisonStrategy.DIRTY_HASH, PAGE)
+        forward = comparator.compare(proc, twin, dirty_vpns={addr // PAGE})
+        backward = comparator.compare(twin, proc, dirty_vpns={addr // PAGE})
+        assert not forward.match and not backward.match
+        assert forward.mismatched_vpns == backward.mismatched_vpns
+
+    def test_hash_disagreement_with_equal_bytes_is_defensive_hash_reason(
+            self, monkeypatch):
+        """The ``"hash"`` branch: per-page byte compares all pass but the
+        running digests disagree.  Unreachable with a working hash;
+        reachable exactly when the digest logic itself is broken, which
+        is what a stubbed hasher simulates."""
+        import repro.core.comparator as comparator_module
+
+        class BrokenHash:
+            _instances = 0
+
+            def __init__(self):
+                BrokenHash._instances += 1
+                self._id = BrokenHash._instances
+
+            def update(self, data):
+                pass
+
+            def digest(self):
+                return self._id  # every instance disagrees with every other
+
+        monkeypatch.setattr(comparator_module, "Xxh3_64", BrokenHash)
+        _, proc, twin = spawn_pair()
+        comparator = StateComparator(ComparisonStrategy.DIRTY_HASH, PAGE)
+        result = comparator.compare(proc, twin,
+                                    dirty_vpns={DATA_BASE // PAGE})
+        assert not result.match
+        assert result.reason == "hash"
+        assert result.describe() == "hash"
+
     def test_dirty_hash_requires_vpns(self):
         _, proc, twin = spawn_pair()
         comparator = StateComparator(ComparisonStrategy.DIRTY_HASH, PAGE)

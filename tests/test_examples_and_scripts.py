@@ -38,6 +38,13 @@ class TestExamples:
         assert "summary:" in result.stdout
         assert "detected" in result.stdout
 
+    def test_recovery_demo_infra_mode(self):
+        result = run_example("recovery_demo.py", "--infra", timeout=360)
+        assert result.returncode == 0, result.stderr
+        assert "sdc" in result.stdout
+        assert "log_integrity" in result.stdout
+        assert "integrity_fail" in result.stdout
+
     def test_heterogeneous_scheduling(self):
         result = run_example("heterogeneous_scheduling.py", timeout=360)
         assert result.returncode == 0, result.stderr

@@ -90,10 +90,28 @@ class TestClassifier:
         stats.checker_retries = retries
         return stats
 
-    def test_silent_output_corruption_is_detected(self):
-        # Tripwire: no error reported, but the output is wrong.
+    def test_silent_output_corruption_is_sdc(self):
+        # No error reported, but the output is wrong: the corruption
+        # escaped silently.  This must never count as a detection.
         outcome = FaultInjector._classify(self._stats("corrupt"), "good")
-        assert outcome is Outcome.DETECTED
+        assert outcome is Outcome.SDC
+        assert not outcome.is_detected
+        assert not outcome.is_survived
+
+    def test_silent_stderr_corruption_is_sdc(self):
+        stats = self._stats("good")
+        stats.stderr = "oops"
+        outcome = FaultInjector._classify(stats, "good", "")
+        assert outcome is Outcome.SDC
+
+    def test_sdc_fraction(self):
+        campaign = CampaignResult("x")
+        for outcome in (Outcome.SDC, Outcome.DETECTED,
+                        Outcome.BENIGN, Outcome.SDC):
+            campaign.injections.append(InjectionResult(
+                outcome, "infra", 0, 0, 0, 0.0))
+        assert campaign.sdc_fraction == pytest.approx(0.5)
+        assert campaign.detected_fraction == pytest.approx(0.25)
 
     def test_rollback_with_matching_output_is_recovered(self):
         outcome = FaultInjector._classify(

@@ -152,6 +152,46 @@ def scenario_recovery():
     return runtime, {"errors": 0, "min_rollbacks": 1}
 
 
+def corrupt_every_recovery_checkpoint(runtime):
+    """Flip a bit in each retained recovery checkpoint shortly after its
+    fork (after the fork-time digest was taken), so whichever segment an
+    application fault later lands in, the checkpoint recovery would trust
+    is rotten."""
+    from repro.isa import DATA_BASE
+    corrupted = set()
+
+    def hook(proc, role):
+        for segment in runtime.segments:
+            checkpoint = segment.recovery_checkpoint
+            if (segment.index in corrupted or checkpoint is None
+                    or not checkpoint.alive):
+                continue
+            value = checkpoint.mem.load_byte(DATA_BASE)
+            checkpoint.mem.store_byte(DATA_BASE, value ^ 1)
+            corrupted.add(segment.index)
+
+    runtime.quantum_hooks.append(hook)
+    return corrupted
+
+
+def scenario_integrity_failstop():
+    """Recovery + checkpoint digests + rotten checkpoints + a main fault:
+    every recovery path would trust corrupted saved state, so the runtime
+    must fail-stop with a typed ``infra_integrity`` error — even though
+    ``stop_on_error`` is off — and must never roll back (the integrity
+    trace invariant)."""
+    config = ParallaftConfig()
+    config.slicing_period = 400_000_000
+    config.enable_recovery = True
+    config.checkpoint_digests = True
+    config.stop_on_error = False
+    runtime = Parallaft(compile_source(PRINT_LOOP), config=config,
+                        platform=apple_m2())
+    corrupt_every_recovery_checkpoint(runtime)
+    corrupt_main_once(runtime)
+    return runtime, {"errors": 1, "killed": True}
+
+
 SCENARIOS = {
     "plain": scenario_plain,
     "containment": scenario_containment,
@@ -159,6 +199,7 @@ SCENARIOS = {
     "many_live": scenario_many_live,
     "retry_containment": scenario_retry_containment,
     "recovery": scenario_recovery,
+    "integrity_failstop": scenario_integrity_failstop,
 }
 
 
@@ -172,8 +213,18 @@ def finished_run(request):
 class TestWorkloadMatrixInvariants:
     def test_run_completes(self, finished_run):
         name, runtime, stats, expect = finished_run
-        assert stats.exit_code == 0, f"{name}: app did not finish"
         assert len(stats.errors) == expect["errors"], stats.errors
+        if expect.get("killed"):
+            # Integrity fail-stop: the app must NOT run to completion —
+            # its saved state is untrusted, so the runtime tears it down
+            # with a typed error instead of limping on (or "recovering").
+            assert stats.exit_code != 0, f"{name}: app was not torn down"
+            assert stats.errors[0].kind == "infra_integrity"
+            assert stats.recovery_rollbacks == 0
+            assert not list(runtime.trace.events(tev.ROLLBACK))
+            assert list(runtime.trace.events(tev.INTEGRITY_FAIL))
+            return
+        assert stats.exit_code == 0, f"{name}: app did not finish"
         # The app's own output is never lost, even when a fault was
         # detected (containment) or repaired (recovery) along the way.
         assert len(stats.stdout.splitlines()) >= 5
