@@ -1,0 +1,122 @@
+"""Graceful degradation under memory pressure (headline table).
+
+Sweeps three dirty-page-heavy workloads down a ladder of frame-pool
+budgets (unbounded, then ``base + f * (peak - base)`` for f = 1.5, 0.8,
+0.5, 0.25 — ``base`` is the unprotected footprint, ``peak`` the unbounded
+protected high-water mark) and asserts the degradation contract:
+
+* every non-OOM run commits byte-identical output with zero errors and a
+  clean invariant trace (ladder order, OOM provenance, no rollback to an
+  evicted checkpoint);
+* protection overhead is monotonically non-decreasing as the budget
+  shrinks — pressure costs latency, never correctness;
+* the fault campaign replayed at every surviving budget keeps zero SDC
+  escapes and zero missed detections;
+* the bottom rung ends in a clean OOM exit (a distinct class), proving
+  the ladder fails stop rather than wedging or silently corrupting;
+* the unbounded default is inert: no pressure events, no counters — the
+  existing figure benchmarks are bit-for-bit unaffected by this subsystem.
+
+``REPRO_PRESSURE_INJECTIONS=N`` scales the per-budget campaign (default 1).
+"""
+
+import os
+
+import pytest
+from conftest import print_rows
+
+from repro.core import Parallaft, ParallaftConfig
+from repro.faults import Outcome
+from repro.harness.pressure import DEFAULT_FRACTIONS, run_pressure_campaign
+from repro.harness.report import render_pressure_campaign
+from repro.minic import compile_source
+from repro.sim import apple_m2
+from repro.trace import events as tev
+from repro.workloads.registry import benchmark as get_benchmark
+
+#: Dirty-page-heavy trio with monotone budget/overhead curves.
+PRESSURE_BENCHMARKS = ("mcf", "sjeng", "lbm")
+
+
+def pressure_injections():
+    return int(os.environ.get("REPRO_PRESSURE_INJECTIONS", "1"))
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return run_pressure_campaign(
+        [get_benchmark(name) for name in PRESSURE_BENCHMARKS],
+        fractions=DEFAULT_FRACTIONS,
+        injections_per_segment=pressure_injections())
+
+
+def test_pressure_degradation(benchmark, sweeps):
+    result = benchmark.pedantic(lambda: sweeps, rounds=1, iterations=1)
+
+    print_rows("Graceful degradation under memory pressure",
+               render_pressure_campaign(result).splitlines())
+
+    assert set(result) == set(PRESSURE_BENCHMARKS)
+    for name, sweep in result.items():
+        assert len(sweep.runs) == 1 + len(DEFAULT_FRACTIONS)
+        for run in sweep.runs:
+            assert run.invariant_violations == [], (name, run.budget_bytes)
+            if run.oom:
+                # A clean OOM: the distinct exit class, not an error.
+                assert not run.error_kinds, (name, run.budget_bytes)
+                continue
+            # Non-OOM rungs: byte-identical output, zero errors.
+            assert run.output_matched, (name, run.budget_bytes)
+            assert not run.error_kinds, (name, run.budget_bytes)
+            if run.budget_bytes is not None:
+                assert (run.peak_resident_bytes
+                        <= run.budget_bytes), (name, run.budget_bytes)
+        # Overhead grows monotonically as the budget shrinks.
+        assert sweep.overhead_monotone, [
+            (r.budget_bytes, r.wall_time) for r in sweep.runs]
+        # The ladder bottoms out in an OOM rather than a wrong answer.
+        assert sweep.runs[-1].oom, name
+
+
+def test_pressure_campaign_keeps_detection(sweeps):
+    """Fault campaigns replayed under pressure: zero SDC escapes, zero
+    missed detections at every surviving budget."""
+    campaigns = [(name, run.budget_bytes, run.campaign)
+                 for name, sweep in sweeps.items()
+                 for run in sweep.runs if run.campaign is not None]
+    assert campaigns, "no surviving budget ran a campaign"
+    for name, budget, campaign in campaigns:
+        assert campaign.total > 0, (name, budget)
+        assert campaign.count(Outcome.SDC) == 0, (name, budget)
+        for injection in campaign.injections:
+            assert (injection.outcome.is_detected
+                    or injection.outcome in (Outcome.BENIGN, Outcome.OOM)), (
+                name, budget, injection.outcome)
+
+
+def test_unbounded_default_is_inert():
+    """With no budget (the default), the pressure subsystem must be
+    completely invisible: no controller, no pressure events, all
+    counters zero — so every existing figure benchmark is bit-for-bit
+    unchanged."""
+    source, files = get_benchmark("bzip2").build(1, 1)
+    runtime = Parallaft(compile_source(source, name="bzip2"),
+                        config=ParallaftConfig(), platform=apple_m2(),
+                        files=files, seed=1)
+    stats = runtime.run()
+    assert stats.exit_code == 0 and not stats.error_detected
+    assert runtime.pressure is None
+    assert stats.pressure_stalls == 0
+    assert stats.pressure_sheds == 0
+    assert stats.pressure_evictions == 0
+    assert stats.pressure_adaptations == 0
+    assert stats.oom_kills == 0 and not stats.oom_killed
+    pressure_kinds = {tev.PRESSURE_STALL, tev.PRESSURE_SHED, tev.EVICT,
+                      tev.PRESSURE_ADAPT, tev.PRESSURE_EXHAUSTED, tev.OOM}
+    assert not [e for e in runtime.trace if e.kind in pressure_kinds]
+    # Deterministic re-run: the virtual timeline is unchanged.
+    rerun = Parallaft(compile_source(source, name="bzip2"),
+                      config=ParallaftConfig(), platform=apple_m2(),
+                      files=files, seed=1).run()
+    assert rerun.stdout == stats.stdout
+    assert rerun.all_wall_time == stats.all_wall_time

@@ -53,6 +53,7 @@ SYSCALL_NAMES = {
 # -- errno values -------------------------------------------------------------
 
 EBADF = 9
+ENOMEM = 12
 EFAULT = 14
 EINVAL = 22
 ENOSYS = 38

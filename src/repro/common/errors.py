@@ -32,6 +32,24 @@ class MemoryError_(ReproError):
     """Invalid memory operation at the address-space level (bad mmap etc.)."""
 
 
+class FramePoolExhausted(MemoryError_):
+    """A frame allocation would exceed the pool's configured byte budget.
+
+    Raised by :class:`repro.mem.frames.FramePool` when ``budget_bytes`` is
+    set and an ``allocate``/``clone`` cannot be satisfied even after the
+    reclaim hook has run.  The kernel turns this into an OOM kill of the
+    allocating process — a distinct exit class, not a fault detection.
+    """
+
+    def __init__(self, needed: int, resident: int, budget: int):
+        super().__init__(
+            f"frame pool exhausted: need {needed} bytes, "
+            f"{resident} resident of {budget} budget")
+        self.needed = needed
+        self.resident = resident
+        self.budget = budget
+
+
 class KernelError(ReproError):
     """Invalid kernel API usage (bad pid, bad ptrace request, ...)."""
 

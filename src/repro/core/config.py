@@ -13,7 +13,7 @@ no end-of-segment state comparison or dirty-page tracking.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import RuntimeConfigError
@@ -157,6 +157,30 @@ class ParallaftConfig:
     #: application mismatch.
     redundant_compare: bool = False
 
+    # -- memory pressure (finite frame pool, ``repro.core.pressure``) ------
+    # The real runtime's checkpoints compete for finite RAM (paper §4.3,
+    # Fig. 8); these knobs bound the modelled frame pool and control the
+    # graceful-degradation ladder that keeps the run alive under pressure.
+
+    #: Frame-pool byte budget; None = unbounded (the historical default).
+    #: ``REPRO_MEM_BUDGET`` is resolved when a runtime is assembled, not
+    #: here, so a bare config object is environment-independent.
+    mem_budget_bytes: Optional[int] = None
+    #: Pool utilisation at which stage 1 (main backpressure) engages; the
+    #: stall releases once utilisation falls back below this mark.
+    pressure_low_watermark: float = 0.80
+    #: Utilisation at which the controller escalates (shed checkers, evict
+    #: checkpoints, adapt the slicing period), one action per poll.
+    pressure_high_watermark: float = 0.95
+    #: Adaptive slicing targets one segment's dirty footprint at about
+    #: this fraction of the budget.
+    pressure_segment_budget_fraction: float = 0.10
+    #: Floor on the adapted period, as a fraction of ``slicing_period``.
+    pressure_min_period_scale: float = 1.0 / 16.0
+    #: Times a single segment's checker may be shed and re-queued before
+    #: the controller refuses to sacrifice it again.
+    pressure_max_segment_sheds: int = 3
+
     #: Structured event tracing (``repro.trace``): every lifecycle event
     #: lands in a bounded ring buffer, exportable as Chrome trace_event
     #: JSON and replayable through the offline invariant checker.
@@ -201,12 +225,34 @@ class ParallaftConfig:
             raise RuntimeConfigError("trace_capacity must be >= 1")
         if self.clean_page_audit < 0:
             raise RuntimeConfigError("clean_page_audit must be >= 0")
+        if self.mem_budget_bytes is not None and self.mem_budget_bytes <= 0:
+            raise RuntimeConfigError("mem_budget_bytes must be positive")
+        if not 0.0 < self.pressure_low_watermark \
+                < self.pressure_high_watermark <= 1.0:
+            raise RuntimeConfigError(
+                "watermarks must satisfy 0 < low < high <= 1")
+        if not 0.0 < self.pressure_segment_budget_fraction <= 1.0:
+            raise RuntimeConfigError(
+                "pressure_segment_budget_fraction must be in (0, 1]")
+        if not 0.0 < self.pressure_min_period_scale <= 1.0:
+            raise RuntimeConfigError(
+                "pressure_min_period_scale must be in (0, 1]")
+        if self.pressure_max_segment_sheds < 0:
+            raise RuntimeConfigError(
+                "pressure_max_segment_sheds must be >= 0")
 
     @property
     def retains_recovery_checkpoint(self) -> bool:
         """Whether segment-start checkpoints outlive checker placement
-        (needed by both the retry and the rollback extensions)."""
-        return self.retry_failed_checkers or self.enable_recovery
+        (needed by the retry and rollback extensions, and by the pressure
+        controller so shed checkers can be re-spawned — RAFT mode has no
+        per-segment checkpoints, so a budget alone never retains there).
+        Only an explicit ``mem_budget_bytes`` counts: the runtime copies
+        the ``REPRO_MEM_BUDGET`` fallback into its own config at assembly
+        time, so a bare config object never retains."""
+        return (self.retry_failed_checkers or self.enable_recovery
+                or (self.mem_budget_bytes is not None
+                    and self.mode is RuntimeMode.PARALLAFT))
 
     @classmethod
     def raft(cls) -> "ParallaftConfig":

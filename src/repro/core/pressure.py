@@ -1,0 +1,452 @@
+"""Memory-pressure controller: graceful degradation under a finite frame
+pool (extension beyond the paper; cf. Döbel's resource-aware replication).
+
+Parallaft's checkpoints are COW forks whose footprint grows with the
+dirty-page rate and the number of live segments (paper §4.3, Fig. 8).  With
+a finite :class:`~repro.mem.frames.FramePool` budget, a production runtime
+must *degrade* rather than die.  This controller watches pool utilisation
+against two watermarks and escalates through an ordered ladder — each stage
+trades a little protection quality or throughput for memory, and a stage-N
+action never precedes stage N−1 (a checked trace invariant):
+
+1. **stall** (``pressure_stall``) — backpressure the main, exactly like the
+   ``max_live_segments`` cap: recording is what dirties pages, so pausing
+   the producer lets the checkers drain.  Engaged at the low watermark,
+   released below it.
+2. **shed** (``pressure_shed``) — tear down the *youngest* in-flight
+   checker (it has the most replay left to redo, so the least sunk work)
+   and re-queue its segment; a fresh checker is re-forked from the retained
+   segment-start checkpoint once pressure eases.
+3. **evict** (``evict``) — reap retained recovery checkpoints oldest-first,
+   but never the rollback anchor (the oldest live segment's checkpoint is
+   the last verified state — recovery would be lost with it).  An evicted
+   segment that later fails its check surfaces a typed
+   ``checkpoint_evicted`` error instead of rolling back onto freed state.
+4. **adapt** (``pressure_adapt``) — shorten the slicing period from the
+   observed dirty-page rate so future segments fit in roughly
+   ``pressure_segment_budget_fraction`` of the budget.  Sticky for the
+   rest of the run (it only ever shrinks).
+
+Escalation actions (2-4) run one per poll above the high watermark; the
+same ladder runs synchronously as the pool's *emergency reclaim hook* when
+an allocation would overrun the budget mid-quantum.  If the ladder runs
+dry, the allocation fails, the kernel emits ``pressure_exhausted`` + ``oom``
+and OOM-kills the allocator — the runtime sacrifices checkers (re-queuing
+their segments) but lets a main OOM stand as the run's distinct exit class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro import abi
+from repro.core.segment import Segment, SegmentStatus
+from repro.kernel.process import ProcessState
+from repro.trace import events as tev
+
+if TYPE_CHECKING:
+    from repro.kernel.process import Process
+    from repro.core.runtime import Parallaft
+
+#: EWMA smoothing for the observed dirty-byte rate.
+_RATE_ALPHA = 0.2
+#: A re-adaptation must shrink the period by at least this factor to be
+#: worth another stage-4 action (prevents event spam at steady pressure).
+_ADAPT_HYSTERESIS = 0.99
+
+
+class PressureController:
+    """Watermark-driven degradation ladder for one Parallaft run."""
+
+    def __init__(self, rt: "Parallaft"):
+        self.rt = rt
+        self.config = rt.config
+        self.pool = rt.kernel.pool
+        #: emergency reclaim: runs inside a failing allocation.
+        self.pool.reclaim_hook = self._emergency_reclaim
+        #: stage-1 state: engaged = episode active; the main is only
+        #: *applied* (made WAITING) when that cannot deadlock the sim.
+        self.stall_engaged = False
+        #: segments whose checkers were shed, awaiting a respawn.
+        self._parked: List[Segment] = []
+        #: checkers blocked on a failed allocation (pid -> process), held
+        #: on the faulting store until retirements free frames.
+        self._blocked: Dict[int, "Process"] = {}
+        #: True while the ladder runs inside a failing allocation; the
+        #: stage-1 stall must not park the allocator mid-quantum (it is
+        #: applied at the next poll instead).
+        self._in_emergency = False
+        #: Highest ladder stage reached so far (real action or recorded
+        #: dry pass) — the trace invariant "no stage-N action before
+        #: stage N−1" is kept true by construction via ``_mark_dry``.
+        self._stage_reached = 0
+        #: sticky stage-4 period (same units as ``slicing_period``).
+        self._adapted_period: Optional[float] = None
+        #: EWMA of dirty bytes per unit of main progress.
+        self._dirty_rate = 0.0
+        self._last_alloc = self.pool.frames_allocated
+        self._last_progress = 0.0
+
+    # ------------------------------------------------------------- polling
+
+    def _util(self) -> float:
+        budget = self.pool.budget_bytes
+        if not budget:
+            return 0.0
+        return self.pool.resident_bytes / budget
+
+    def poll(self, proc: "Process", role: Optional[str]) -> None:
+        """Per-quantum watermark check (called from ``on_quantum`` for
+        every traced process, so pressure is re-evaluated while the main
+        is stalled and only checkers make progress)."""
+        if self.pool.budget_bytes is None:
+            return
+        if role == "main":
+            self._update_rate(proc)
+        util = self._util()
+        if util < self.config.pressure_low_watermark:
+            if self.stall_engaged:
+                self._release_stall()
+            self._wake_blocked()
+            self._respawn_parked()
+            return
+        if not self.stall_engaged:
+            self._engage_stall()
+        else:
+            self._apply_stall()
+        if util >= self.config.pressure_high_watermark:
+            self._escalate_once()
+            # The throttle inside only readmits a checker when none is
+            # runnable (the stall needs one to drain into).
+            self._respawn_parked()
+        else:
+            self._wake_blocked()
+            self._respawn_parked()
+
+    def _update_rate(self, main: "Process") -> None:
+        progress = self.rt._main_progress_units(main)
+        allocated = self.pool.frames_allocated
+        delta_progress = progress - self._last_progress
+        if delta_progress <= 0:
+            return
+        delta_bytes = (allocated - self._last_alloc) * self.pool.page_size
+        self._last_progress = progress
+        self._last_alloc = allocated
+        instant = delta_bytes / delta_progress
+        self._dirty_rate = (instant if self._dirty_rate == 0.0
+                            else _RATE_ALPHA * instant
+                            + (1 - _RATE_ALPHA) * self._dirty_rate)
+
+    def effective_period(self) -> Optional[float]:
+        """Stage-4 adapted slicing period, or None before any adaptation."""
+        return self._adapted_period
+
+    # ------------------------------------------------------ stage 1: stall
+
+    def note_stage(self, stage: int) -> None:
+        """Record that a ladder stage was exercised (also called by the
+        runtime's OOM shed path)."""
+        self._stage_reached = max(self._stage_reached, stage)
+
+    def _mark_dry(self, kind: str, stage: int) -> None:
+        """Record a dry ladder rung: the controller visited stage
+        ``stage`` but found no candidate, before moving on to the next
+        stage.  Emitted (once) so the strict stage ordering remains
+        checkable from the trace alone; bumps no counters."""
+        if self._stage_reached >= stage:
+            return
+        self._stage_reached = stage
+        self.rt._emit(kind, stage=stage, skipped=True)
+
+    def _engage_stall(self) -> None:
+        self.stall_engaged = True
+        self.note_stage(1)
+        self.rt.stats.pressure_stalls += 1
+        self.rt._emit(tev.PRESSURE_STALL, proc=self.rt.main, stage=1,
+                      resident=self.pool.resident_bytes,
+                      budget=self.pool.budget_bytes)
+        self._apply_stall()
+
+    def _apply_stall(self) -> None:
+        """Actually park the main, if that cannot deadlock the machine:
+        some *other* runnable placed process must exist to keep virtual
+        time advancing (and eventually release us)."""
+        rt = self.rt
+        main = rt.main
+        if (self._in_emergency or rt._main_stalled_on_pressure
+                or main is None or not main.alive
+                or main.state is not ProcessState.RUNNING):
+            return
+        others = any(p.runnable and p.core is not None and p is not main
+                     for p in rt.kernel.processes.values())
+        if not others:
+            return
+        rt._main_stalled_on_pressure = True
+        main.state = ProcessState.WAITING
+        rt._emit(tev.MAIN_STALL, proc=main,
+                 segment=rt.current.index if rt.current else None,
+                 reason=tev.STALL_PRESSURE)
+
+    def _release_stall(self) -> None:
+        self.stall_engaged = False
+        self.rt._maybe_wake_stalled_main()
+
+    def force_release_stall(self) -> None:
+        """Liveness override (from the OOM path): give up the stage-1
+        stall so the main can run — over budget beats wedged."""
+        self._release_stall()
+
+    # -------------------------------------------------- stages 2-4, escalation
+
+    def _escalate_once(self) -> None:
+        if self._shed_one():
+            return
+        self._mark_dry(tev.PRESSURE_SHED, 2)
+        if self._evict_one():
+            return
+        self._mark_dry(tev.EVICT, 3)
+        self._adapt()
+
+    def _shed_one(self) -> bool:
+        """Stage 2: sacrifice the youngest running checker, park its
+        segment for a respawn from the retained checkpoint."""
+        rt = self.rt
+        current = rt.executor.current_proc
+        candidates = [
+            s for s in rt.sched.running
+            if s.checker is not None and s.checker.alive
+            and s.checker is not current
+            and s.recovery_checkpoint is not None
+            and not s.checkpoint_evicted
+            and s.sheds < self.config.pressure_max_segment_sheds]
+        if not candidates:
+            return False
+        segment = max(candidates, key=lambda s: s.index)
+        checker = segment.checker
+        before = self.pool.resident_bytes
+        rt.segment_of_checker.pop(checker.pid, None)
+        rt._stalled_checkers.discard(checker.pid)
+        self._blocked.pop(checker.pid, None)
+        if checker.alive:
+            rt.kernel.exit_process(checker, 128 + abi.SIGKILL)
+        rt.kernel.reap(checker)
+        rt.sched.on_checker_done(segment)
+        segment.checker = None
+        segment.replayer = None
+        segment.sheds += 1
+        segment.status = SegmentStatus.READY
+        self._parked.append(segment)
+        self.note_stage(2)
+        rt.stats.pressure_sheds += 1
+        rt._emit(tev.PRESSURE_SHED, segment=segment.index, stage=2,
+                 freed=before - self.pool.resident_bytes)
+        return True
+
+    def _evict_one(self) -> bool:
+        """Stage 3: reap a retained recovery checkpoint, oldest-first.
+
+        Never the oldest live segment's (the rollback anchor — the last
+        verified state) and never a parked segment's (its checkpoint is
+        the only source its replacement checker can be forked from)."""
+        rt = self.rt
+        retaining = sorted(
+            (s for s in rt.segments
+             if s.live and s.recovery_checkpoint is not None
+             and s not in self._parked),
+            key=lambda s: s.index)
+        if len(retaining) < 2:
+            return False
+        victim = retaining[1]  # oldest-first, skipping the anchor
+        before = self.pool.resident_bytes
+        rt.roles.pop(victim.recovery_checkpoint.pid, None)
+        rt.kernel.reap(victim.recovery_checkpoint)
+        victim.recovery_checkpoint = None
+        victim.checkpoint_evicted = True
+        self.note_stage(3)
+        rt.stats.pressure_evictions += 1
+        rt._emit(tev.EVICT, segment=victim.index, stage=3,
+                 freed=before - self.pool.resident_bytes)
+        return True
+
+    def _adapt(self) -> bool:
+        """Stage 4: shrink the slicing period so one segment dirties about
+        ``pressure_segment_budget_fraction`` of the budget."""
+        if self._dirty_rate <= 0.0:
+            return False
+        base = self.config.slicing_period
+        if base == float("inf"):
+            return False
+        target_bytes = (self.pool.budget_bytes
+                        * self.config.pressure_segment_budget_fraction)
+        period = target_bytes / self._dirty_rate
+        floor = base * self.config.pressure_min_period_scale
+        period = max(floor, min(period, base))
+        current = (self._adapted_period if self._adapted_period is not None
+                   else base)
+        if period >= current * _ADAPT_HYSTERESIS:
+            return False
+        self._adapted_period = period
+        self.note_stage(4)
+        self.rt.stats.pressure_adaptations += 1
+        self.rt._emit(tev.PRESSURE_ADAPT, stage=4, period=period,
+                      dirty_rate=self._dirty_rate)
+        return True
+
+    # ------------------------------------------------------ respawn / liveness
+
+    def park(self, segment: Segment) -> None:
+        """Park a segment whose checker the OOM path sacrificed."""
+        if segment not in self._parked:
+            self._parked.append(segment)
+        self._respawn_parked()
+
+    def block_checker(self, proc: "Process", segment: Segment) -> None:
+        """Hold a checker on its faulting store (kernel found the stop
+        resumable): it retries once retirements free frames."""
+        proc.state = ProcessState.WAITING
+        self._blocked[proc.pid] = proc
+        self.rt._emit(tev.CHECKER_STALL, proc=proc, segment=segment.index,
+                      reason="memory")
+
+    def _wake_blocked(self, force: bool = False) -> None:
+        """Resume blocked checkers once utilisation leaves the escalation
+        band (their retried stores re-enter reclaim if it returns)."""
+        if not self._blocked:
+            return
+        if not force:
+            if self._util() >= self.config.pressure_high_watermark:
+                return
+            # A blocked checker needs at least one whole page: waking it
+            # into fractional headroom just re-faults the same store at
+            # zero virtual cost and livelocks the wake/block pair.
+            if (self.pool.budget_bytes is not None
+                    and (self.pool.budget_bytes - self.pool.resident_bytes)
+                    < self.pool.page_size):
+                return
+        for pid in list(self._blocked):
+            proc = self._blocked.pop(pid)
+            if not proc.alive or proc.state is not ProcessState.WAITING:
+                continue
+            proc.state = ProcessState.RUNNING
+            proc.ready_time = max(proc.ready_time,
+                                  self.rt.executor.current_time)
+            segment = self.rt.segment_of_checker.get(pid)
+            self.rt._emit(tev.CHECKER_WAKE, proc=proc,
+                          segment=segment.index if segment else None)
+
+    def _respawn_parked(self, force: bool = False) -> None:
+        """Re-fork one parked segment's checker (all of them when forced).
+
+        Respawns are throttled to one per call below the high watermark;
+        when nothing else in the machine is runnable the throttle is
+        overridden — a parked segment must never be the reason the run
+        deadlocks short of completion."""
+        rt = self.rt
+        while self._parked:
+            segment = self._parked[0]
+            if (not segment.live or segment.retired
+                    or segment.recovery_checkpoint is None):
+                self._parked.pop(0)  # rolled back / discarded meanwhile
+                continue
+            allowed = (force
+                       or self._util() < self.config.pressure_high_watermark
+                       or not self._any_checker_runnable())
+            if not allowed:
+                break
+            self._parked.pop(0)
+            rt._respawn_checker(
+                segment,
+                f"checker-{segment.index}-shed{segment.sheds}",
+                cause="pressure_requeue")
+            if not force:
+                break
+        self._ensure_liveness()
+
+    def _anything_runnable(self) -> bool:
+        return any(p.runnable and p.core is not None
+                   for p in self.rt.kernel.processes.values())
+
+    def _any_checker_runnable(self) -> bool:
+        return any(p.runnable and p.core is not None
+                   and self.rt.roles.get(p.pid) == "checker"
+                   for p in self.rt.kernel.processes.values())
+
+    def _ensure_liveness(self) -> None:
+        """Nothing runnable must never be a terminal state while work
+        remains: force-wake blocked checkers (they retry, and the OOM
+        path decides again), and release a pressure stall so the main can
+        run over budget (allocations then fail into the OOM path, which
+        is the designed outcome — never a hang)."""
+        rt = self.rt
+        if self._anything_runnable():
+            return
+        if self._blocked:
+            self._wake_blocked(force=True)
+            if self._anything_runnable():
+                return
+        main = rt.main
+        if (self.stall_engaged and main is not None and main.alive
+                and main.state is ProcessState.WAITING):
+            self._release_stall()
+
+    def on_checker_exit(self) -> None:
+        """A checker died (possibly OOM-killed mid-escalation): if it was
+        the last runnable process, force-wake any blocked peers — each
+        retries its allocation and the OOM path decides its fate again,
+        so the run always drains instead of hanging with parked work."""
+        self._ensure_liveness()
+
+    def on_retire(self) -> None:
+        """A segment retired (memory was freed): re-evaluate the stall and
+        give parked segments a chance to respawn."""
+        if self.pool.budget_bytes is None:
+            return
+        if (self.stall_engaged
+                and self._util() < self.config.pressure_low_watermark):
+            self._release_stall()
+        self._wake_blocked()
+        self._respawn_parked()
+
+    def on_main_exit(self) -> None:
+        """The main exited: every parked segment must still be verified,
+        so respawn them all (and resume blocked checkers) for the tail
+        phase."""
+        self._wake_blocked(force=True)
+        self._respawn_parked(force=True)
+
+    def on_rollback(self) -> None:
+        """Recovery replaced the main; the old stall died with it."""
+        # stall_engaged survives (pressure has not eased); the new main is
+        # re-stalled at the next poll if needed.
+
+    # ------------------------------------------------------ emergency reclaim
+
+    def _emergency_reclaim(self, needed: int) -> None:
+        """The pool cannot satisfy an allocation: run the ladder
+        synchronously, stage by stage, until there is headroom or the
+        ladder is dry (the pool then raises and the kernel OOM-kills)."""
+        pool = self.pool
+        budget = pool.budget_bytes
+        if budget is None:
+            return
+        self._in_emergency = True
+        try:
+            if not self.stall_engaged:
+                # Engaged but NOT applied (the allocator may be the main,
+                # mid-quantum); the next poll parks it.
+                self._engage_stall()
+            while pool.resident_bytes + needed > budget:
+                if not self._shed_one():
+                    break
+            if pool.resident_bytes + needed > budget:
+                self._mark_dry(tev.PRESSURE_SHED, 2)
+            while pool.resident_bytes + needed > budget:
+                if not self._evict_one():
+                    break
+            if pool.resident_bytes + needed > budget:
+                # Cannot help *this* allocation, but future segments can
+                # be sliced to fit.
+                self._mark_dry(tev.EVICT, 3)
+                self._adapt()
+        finally:
+            self._in_emergency = False

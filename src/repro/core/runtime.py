@@ -17,10 +17,16 @@ on a big core with no state comparison.
 
 from __future__ import annotations
 
+import dataclasses
+
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import abi
-from repro.common.errors import ReproError, SimulationError
+from repro.common.errors import (
+    FramePoolExhausted,
+    ReproError,
+    SimulationError,
+)
 from repro.core import syscall_model
 from repro.core.checker_sched import CheckerScheduler
 from repro.core.comparator import (
@@ -35,6 +41,7 @@ from repro.core.config import (
     RuntimeMode,
 )
 from repro.core.dirty_tracker import DirtyPageTracker
+from repro.core.pressure import PressureController
 from repro.core.exec_point import (
     ExecPoint,
     ExecPointReplayer,
@@ -55,6 +62,7 @@ from repro.isa import instructions as I
 from repro.isa.program import Program
 from repro.kernel import Kernel, SyscallAction, Tracer
 from repro.kernel.process import Process, ProcessState
+from repro.mem.frames import budget_from_env
 from repro.recovery.manager import RecoveryManager
 from repro.sim.executor import Executor, core_label
 from repro.sim.platform import PlatformConfig, apple_m2
@@ -76,6 +84,15 @@ class Parallaft(Tracer):
         self.program = program
         self.platform = platform or apple_m2()
         self.config = config or ParallaftConfig()
+        if self.config.mem_budget_bytes is None:
+            # REPRO_MEM_BUDGET is resolved here, not at config
+            # construction, so a bare ParallaftConfig stays
+            # environment-independent (retains_recovery_checkpoint and
+            # friends only see an explicit budget).
+            env_budget = budget_from_env()
+            if env_budget is not None:
+                self.config = dataclasses.replace(
+                    self.config, mem_budget_bytes=env_budget)
         self.config.validate()
         self.kernel = kernel or Kernel(page_size=self.platform.page_size,
                                        seed=seed)
@@ -111,6 +128,13 @@ class Parallaft(Tracer):
                              or self.platform.slicing_unit)
         self.recovery: Optional[RecoveryManager] = (
             RecoveryManager(self) if self.config.enable_recovery else None)
+        if self.config.mem_budget_bytes is not None:
+            self.kernel.pool.set_budget(self.config.mem_budget_bytes)
+        #: Memory-pressure degradation ladder; present iff the pool has a
+        #: finite budget (from config or a caller-provided kernel).
+        self.pressure: Optional[PressureController] = (
+            PressureController(self)
+            if self.kernel.pool.budget_bytes is not None else None)
 
         self.main: Optional[Process] = None
         self.segments: List[Segment] = []
@@ -127,6 +151,7 @@ class Parallaft(Tracer):
         self._stalled_checkers: Set[int] = set()
         self._main_stalled_on_cap = False
         self._main_stalled_for_containment = False
+        self._main_stalled_on_pressure = False
         self._terminated = False
         #: Latched at the first INTEGRITY_FAIL emission: saved state (or
         #: the comparator) proved untrusted, so no rollback may ever run
@@ -168,7 +193,24 @@ class Parallaft(Tracer):
 
     def run(self) -> RunStats:
         """Run the program under protection; returns the collected stats."""
-        self._setup()
+        try:
+            self._setup()
+        except FramePoolExhausted as exc:
+            # The program image itself does not fit the frame-pool budget:
+            # the run is over before it began — an OOM exit, not a crash.
+            self.kernel.stats["oom_kills"] += 1
+            if self.trace.enabled:
+                self.trace.emit(tev.PRESSURE_EXHAUSTED, stage=3,
+                                needed=exc.needed, resident=exc.resident,
+                                budget=exc.budget)
+                self.trace.emit(tev.OOM, needed=exc.needed,
+                                resident=exc.resident, budget=exc.budget)
+            self.stats.oom_killed = True
+            self.stats.oom_kills = self.kernel.stats["oom_kills"]
+            self.stats.exit_code = 128 + abi.SIGKILL
+            self.stats.peak_resident_bytes = float(
+                self.kernel.pool.peak_resident_bytes)
+            return self.stats
         self.executor.run()
         self._finalize_stats()
         return self.stats
@@ -469,7 +511,8 @@ class Parallaft(Tracer):
             kind = "infra_integrity"
             recoverable = False
         if (recoverable and segment is not None
-                and self.config.retains_recovery_checkpoint
+                and (self.config.retry_failed_checkers
+                     or self.config.enable_recovery)
                 and segment.retries < self.config.max_checker_retries
                 and segment.recovery_checkpoint is not None
                 and segment.end_point is not None):
@@ -477,6 +520,8 @@ class Parallaft(Tracer):
             # step: re-check with a second checker forked from the retained
             # segment-start state.  A transient checker fault vanishes; a
             # main-side fault persists into the next _report_error call.
+            # (Checkpoints retained only for the pressure controller do
+            # not enable retries — the explicit knobs gate them.)
             self._retry_segment_check(segment, kind)
             return
         if (recoverable and not self._integrity_failed
@@ -485,6 +530,17 @@ class Parallaft(Tracer):
             # The main was implicated and rolled back to the last verified
             # checkpoint: the error is absorbed, not reported.
             return
+        if (recoverable and segment is not None and segment.checkpoint_evicted
+                and (self.config.retry_failed_checkers
+                     or self.config.enable_recovery)):
+            # Retry/rollback would have consumed the retained checkpoint,
+            # but the pressure controller evicted it (stage 3).  Refusing
+            # with a typed error reuses the fail-stop discipline: freed
+            # state must never be promoted into a "recovered" timeline.
+            detail = (f"recovery checkpoint of segment {segment.index} was "
+                      f"evicted under memory pressure; refusing to absorb "
+                      f"{kind}: {detail}")
+            kind = "checkpoint_evicted"
         index = segment.index if segment is not None else -1
         self.stats.errors.append(DetectedError(
             kind, index, detail, self.executor.current_time))
@@ -502,7 +558,8 @@ class Parallaft(Tracer):
         # stalled behind the failed segment sleeps forever when
         # stop_on_error is off.
         self._maybe_wake_stalled_main()
-        if self.config.stop_on_error or kind == "infra_integrity":
+        if self.config.stop_on_error \
+                or kind in ("infra_integrity", "checkpoint_evicted"):
             # Graceful degradation: once integrity is gone the run cannot
             # vouch for anything it would produce next — fail-stop even
             # when the user asked to continue past application errors.
@@ -529,12 +586,18 @@ class Parallaft(Tracer):
                 self.kernel.exit_process(old, 1)
             self.kernel.reap(old)
         self.sched.on_checker_done(segment)
+        self._respawn_checker(
+            segment, f"checker-{segment.index}-retry{segment.retries}",
+            cause=kind)
 
+    def _respawn_checker(self, segment: Segment, name: str,
+                         cause: str) -> None:
+        """Fork a fresh checker for ``segment`` from its retained
+        segment-start checkpoint and re-release it (shared by the retry
+        path and the pressure controller's shed/re-queue path)."""
         source = segment.recovery_checkpoint
-        fresh, cost = self.kernel.fork(
-            source, name=f"checker-{segment.index}-retry{segment.retries}",
-            paused=True)
-        # Retry work happens off the main's critical path; charge the new
+        fresh, cost = self.kernel.fork(source, name=name, paused=True)
+        # This work happens off the main's critical path; charge the new
         # checker once it lands on a core.
         self.roles[fresh.pid] = "checker"
         self.segment_of_checker[fresh.pid] = segment
@@ -542,7 +605,7 @@ class Parallaft(Tracer):
         segment.cursor = segment.log.cursor()
         segment.status = SegmentStatus.READY
         self._emit(tev.CHECKER_RETRY, proc=fresh, segment=segment.index,
-                   retry=segment.retries, cause=kind)
+                   retry=segment.retries, cause=cause)
         self._release_segment(segment)
         self.executor.charge_deferred(fresh, cost)
 
@@ -923,11 +986,22 @@ class Parallaft(Tracer):
     def on_process_exit(self, proc: Process) -> None:
         role = self.roles.get(proc.pid)
         if role == "main":
+            if getattr(proc, "oom_killed", False):
+                # Memory exhaustion killed the main: live checkers cannot
+                # complete either (the pool is full) — tear the whole
+                # application down deliberately rather than letting
+                # blocked checkers drain one OOM kill at a time.
+                self._terminate_application()
+                return
             if self.current is not None and not self._terminated:
                 # Crash exit (fatal signal): close the last segment at the
                 # death point so trailing checkers still verify it.
                 self._finalize_segment(end_is_main_exit=True)
             self.sched.on_main_exit()
+            if self.pressure is not None:
+                # The main can no longer allocate: drain every parked
+                # segment so trailing checks still complete.
+                self.pressure.on_main_exit()
             return
         if role == "checker":
             segment = self.segment_of_checker.get(proc.pid)
@@ -940,14 +1014,104 @@ class Parallaft(Tracer):
                 self._retire_segment(segment)
                 return
             if segment.live and not self._terminated \
-                    and not self.stats.errors:
+                    and not self.stats.errors \
+                    and not getattr(proc, "oom_killed", False):
+                # An OOM-killed checker is not an application error: the
+                # kernel already recorded the exhaustion and the run will
+                # classify as OOM, so don't double-report it as a fault.
                 self._report_error("exception", segment,
                                    "checker died before its end point")
+            if self.pressure is not None and not self._terminated:
+                # If this was the last runnable process, blocked peers
+                # must be force-woken or their stalls never resolve.
+                self.pressure.on_checker_exit()
+
+    def on_oom(self, proc: Process, can_block: bool = False) -> bool:
+        """Kernel OOM hook: a traced process hit the frame-pool budget and
+        the emergency reclaim could not free enough.
+
+        A *checker* is expendable: tear it down and re-queue its segment
+        from the retained recovery checkpoint (shed), or — when that
+        checkpoint is gone or the shed budget is spent — park it on the
+        faulting store until other segments retire and free frames
+        (block).  Either way a checker-side overrun costs latency, never
+        correctness.  The *main* is not salvageable (the stage-1 stall is
+        its backpressure; exhaustion despite it means the job exceeds its
+        allowance): return False and let the kernel OOM-kill it.
+        """
+        role = self.roles.get(proc.pid)
+        if role != "checker" or self.pressure is None:
+            return False
+        self.stats.checker_ooms += 1
+        segment = self.segment_of_checker.get(proc.pid)
+        if segment is None:
+            return False
+        main = self.main
+        others = any(p.runnable and p.core is not None and p is not proc
+                     for p in self.kernel.processes.values())
+        if not others and self._main_stalled_on_pressure \
+                and main is not None and main.alive:
+            # Sacrificing or parking this checker would leave nothing
+            # runnable; un-stall the main instead (running over budget
+            # beats wedging — its allocations re-enter reclaim).
+            self.pressure.force_release_stall()
+            others = main.runnable and main.core is not None
+        if not others:
+            # Nothing left that could ever free a frame: the job exceeds
+            # its memory allowance — end the run as an OOM, not a hang.
+            if main is not None and main.alive and main is not proc:
+                self.kernel.oom_kill(main)
+            return False
+        if (segment.recovery_checkpoint is not None
+                and not segment.checkpoint_evicted
+                and segment.sheds < self.config.pressure_max_segment_sheds):
+            self.segment_of_checker.pop(proc.pid, None)
+            self._stalled_checkers.discard(proc.pid)
+            self.kernel.exit_process(proc, 128 + abi.SIGKILL)
+            self.kernel.reap(proc)
+            self.sched.on_checker_done(segment)
+            segment.checker = None
+            segment.replayer = None
+            segment.sheds += 1
+            segment.status = SegmentStatus.READY
+            self.pressure.note_stage(2)
+            self.stats.pressure_sheds += 1
+            # Legal at stage 2: the emergency reclaim engaged the stage-1
+            # stall before the allocation was allowed to fail.
+            self._emit(tev.PRESSURE_SHED, segment=segment.index, stage=2,
+                       cause="oom", freed=0)
+            self.pressure.park(segment)
+            return True
+        if can_block:
+            # No checkpoint to respawn from: hold the checker on the
+            # faulting store; retirement of other segments frees frames
+            # and the pressure controller wakes it to retry.
+            self.pressure.block_checker(proc, segment)
+            return True
+        # Mid-side-effect (not resumable) and not sheddable: this segment
+        # can never be verified within the allowance, so the run ends as
+        # an OOM — kill the main too (the kernel then kills the checker;
+        # its death is not reported as an application error because the
+        # OOM exit class already accounts for it).
+        if main is not None and main.alive and main is not proc:
+            self.kernel.oom_kill(main)
+        return False
+
+    def _main_progress_units(self, proc: Process) -> float:
+        """The main's absolute progress in slicing units (cycles), used by
+        the pressure controller's dirty-rate estimator."""
+        if self.slicing_unit == "cycles":
+            return proc.user_cycles
+        return self._instr_reading(proc) * self.platform.cycle_scale
 
     def on_quantum(self, proc: Process, executed: int) -> None:
         role = self.roles.get(proc.pid)
         for hook in self.quantum_hooks:
             hook(proc, role or "?")
+        if self.pressure is not None:
+            self.pressure.poll(proc, role or "?")
+            if not proc.alive or self._terminated:
+                return
         if role != "main" or self.current is None:
             return
         if self.recovery is not None:
@@ -955,6 +1119,10 @@ class Parallaft(Tracer):
             if not proc.alive or self._terminated:
                 return
         if self.config.mode == RuntimeMode.RAFT:
+            return
+        if self._main_stalled_on_pressure:
+            # Stage-1 backpressure put the main to sleep this quantum; the
+            # boundary decision waits until the stall releases.
             return
         segment = self.current
         if self.slicing_unit == "cycles":
@@ -966,6 +1134,10 @@ class Parallaft(Tracer):
         period = (self.recovery.effective_slicing_period()
                   if self.recovery is not None
                   else self.config.slicing_period)
+        if self.pressure is not None:
+            adapted = self.pressure.effective_period()
+            if adapted is not None:
+                period = min(period, adapted)
         if progress < period:
             return
         if self._live_segments() >= self.config.max_live_segments:
@@ -1059,6 +1231,10 @@ class Parallaft(Tracer):
         self.sched.on_checker_done(segment)
         self._emit(tev.SEGMENT_RETIRE, segment=segment.index)
         self._maybe_wake_stalled_main()
+        if self.pressure is not None:
+            # Retirement frees frames: re-evaluate the stall and give one
+            # parked segment a chance to respawn.
+            self.pressure.on_retire()
 
     def _containment_blocked(self) -> bool:
         """True while the containment predicate still holds: some segment
@@ -1085,17 +1261,23 @@ class Parallaft(Tracer):
         if main is None or not main.alive:
             return
         if not (self._main_stalled_on_cap
-                or self._main_stalled_for_containment):
+                or self._main_stalled_for_containment
+                or self._main_stalled_on_pressure):
             return
         if self._main_stalled_on_cap \
                 and self._live_segments() >= self.config.max_live_segments:
             return
         if self._main_stalled_for_containment and self._containment_blocked():
             return
+        if self._main_stalled_on_pressure and self.pressure is not None \
+                and self.pressure.stall_engaged:
+            return
         reason = (tev.STALL_CONTAINMENT if self._main_stalled_for_containment
-                  else tev.STALL_CAP)
+                  else tev.STALL_CAP if self._main_stalled_on_cap
+                  else tev.STALL_PRESSURE)
         self._main_stalled_on_cap = False
         self._main_stalled_for_containment = False
+        self._main_stalled_on_pressure = False
         main.state = ProcessState.RUNNING
         main.ready_time = max(main.ready_time, self.executor.current_time)
         self._emit(tev.MAIN_WAKE, proc=main,
@@ -1123,22 +1305,33 @@ class Parallaft(Tracer):
         stats.all_wall_time = max(finish_times) - main.spawn_time
         stats.energy_joules = self.executor.total_energy_joules(
             wall=stats.all_wall_time)
+        stats.peak_resident_bytes = float(self.kernel.pool.peak_resident_bytes)
+        stats.oom_kills = self.kernel.stats.get("oom_kills", 0)
+        stats.oom_killed = bool(getattr(main, "oom_killed", False))
 
     # ------------------------------------------------------------- memory sampling
 
     def enable_memory_sampling(self, interval: float = 0.5) -> None:
         """Sample the summed PSS of main + checker processes (paper §5.1:
-        checkpoints' private memory is excluded, as it can be swapped out)."""
+        checkpoints' private memory is excluded, as it can be swapped out).
+
+        Sharing is apportioned within the sampled set: a frame mapped by
+        several live processes counts once, and references held only by
+        retained recovery checkpoints do not dilute the total — their
+        copies are swappable and already excluded from this figure.
+        """
 
         def sample(_when: float) -> None:
-            total = 0.0
+            frames: Dict[int, int] = {}
             for pid, role in self.roles.items():
                 if role not in ("main", "checker"):
                     continue
                 proc = self.kernel.processes.get(pid)
-                if proc is not None and proc.alive:
-                    total += proc.mem.pss_bytes()
-            self.stats.pss_samples.append(total)
+                if proc is None or not proc.alive:
+                    continue
+                for pte in proc.mem.pages.values():
+                    frames[id(pte.frame)] = proc.mem.page_size
+            self.stats.pss_samples.append(float(sum(frames.values())))
 
         self.executor.add_sampler(interval, sample)
 

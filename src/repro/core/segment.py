@@ -78,6 +78,14 @@ class Segment:
         #: trusted for a retry or promoted by a rollback.
         self.checkpoint_digest: Optional[int] = None
         self.retries = 0
+        #: Set when the pressure controller evicted recovery_checkpoint
+        #: (stage 3): any later retry/rollback wanting it must refuse with
+        #: a typed ``checkpoint_evicted`` error instead of promoting freed
+        #: state.
+        self.checkpoint_evicted = False
+        #: Times this segment's in-flight checker was shed by the pressure
+        #: controller (stage 2) and the segment re-queued.
+        self.sheds = 0
         #: Console/stderr buffer lengths at segment start, so a rollback
         #: can truncate output the discarded execution produced.
         self.console_mark = 0

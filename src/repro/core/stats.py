@@ -57,6 +57,17 @@ class RunStats:
     checker_migrations: int = 0
     checkers_finished_on_big: int = 0
     mmap_splits: int = 0
+    # counter.pressure.* — memory-pressure degradation ladder actions
+    pressure_stalls: int = 0          # stage 1: backpressure episodes
+    pressure_sheds: int = 0           # stage 2: checkers torn down/re-queued
+    pressure_evictions: int = 0       # stage 3: recovery checkpoints evicted
+    pressure_adaptations: int = 0     # stage 4: slicing-period shortenings
+    checker_ooms: int = 0             # checkers sacrificed by the OOM path
+    oom_kills: int = 0                # kernel OOM kills (any process)
+    # whether the *main* process was OOM-killed (distinct exit class)
+    oom_killed: bool = False
+    # high-water mark of unique live frame bytes in the pool
+    peak_resident_bytes: float = 0.0
 
     # hwmon.* (joules)
     energy_joules: float = 0.0
@@ -119,6 +130,14 @@ class RunStats:
             "counter.recovery.wasted_cycles": self.recovery_wasted_cycles,
             "counter.integrity.checks": self.integrity_checks,
             "counter.integrity.failures": self.integrity_failures,
+            "counter.pressure.stalls": self.pressure_stalls,
+            "counter.pressure.sheds": self.pressure_sheds,
+            "counter.pressure.evictions": self.pressure_evictions,
+            "counter.pressure.adaptations": self.pressure_adaptations,
+            "counter.pressure.checker_ooms": self.checker_ooms,
+            "counter.oom_kills": self.oom_kills,
+            "oom_killed": self.oom_killed,
+            "memory.peak_resident_bytes": self.peak_resident_bytes,
             "work.checker_cycles_big": self.checker_cycles_big,
             "work.checker_cycles_little": self.checker_cycles_little,
             "work.big_core_work_fraction": self.big_core_work_fraction,

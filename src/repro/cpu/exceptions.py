@@ -21,6 +21,7 @@ class StopReason(enum.Enum):
     INSTR_OVERFLOW = "instr_overflow"    # armed instruction counter fired
     NONDET = "nondet"                    # rdtsc/mrs/cpuid trapped
     FAULT = "fault"                      # architectural fault (see Stop.fault)
+    OOM = "oom"                          # frame-pool budget exhausted mid-store
 
 
 class FaultKind(enum.Enum):
@@ -46,13 +47,15 @@ class Fault:
 class Stop:
     """Why the interpreter returned, plus how much work it did."""
 
-    __slots__ = ("reason", "executed", "fault")
+    __slots__ = ("reason", "executed", "fault", "needed")
 
     def __init__(self, reason: StopReason, executed: int,
-                 fault: Optional[Fault] = None):
+                 fault: Optional[Fault] = None, needed: int = 0):
         self.reason = reason
         self.executed = executed
         self.fault = fault
+        #: For OOM stops: bytes the failed allocation wanted.
+        self.needed = needed
 
     def __repr__(self) -> str:
         extra = f", fault={self.fault}" if self.fault else ""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import struct
 
+from repro.common.errors import FramePoolExhausted
 from repro.cpu.exceptions import Fault, FaultKind, Stop, StopReason
 from repro.mem.address_space import PageFault
 
@@ -294,6 +295,13 @@ def run(proc, budget: int) -> Stop:
             stop = Stop(StopReason.FAULT, executed,
                         Fault(FaultKind.PAGE_FAULT, fault.address,
                               fault.access))
+            break
+        except FramePoolExhausted as exc:
+            # A COW resolution overran the frame-pool budget.  The pool
+            # reserves *before* mutating and the faulting store has not
+            # advanced pc, so stopping here leaves the process resumable:
+            # waking it retries the same instruction.
+            stop = Stop(StopReason.OOM, executed, needed=exc.needed)
             break
 
         ir += 1

@@ -21,6 +21,9 @@
   is under attack.
 * **Benign** — the fault had no observable effect: the program finished
   with correct output and all segment checks passed.
+* **OOM** — the run did not survive *memory pressure*: the main process
+  overran the finite frame-pool budget and was OOM-killed.  A resource
+  exit, not a verdict on the fault — neither a detection nor an SDC.
 """
 
 from __future__ import annotations
@@ -37,14 +40,16 @@ class Outcome(enum.Enum):
     RECOVERED = "recovered"
     SDC = "sdc"
     BENIGN = "benign"
+    OOM = "oom"
 
     @property
     def is_detected(self) -> bool:
-        """Every class except benign and SDC counts as a successful
+        """Every class except benign, SDC and OOM counts as a successful
         detection (a recovered fault was detected first, then survived).
         An SDC run is the opposite of a detection: the corruption escaped
-        with no error reported."""
-        return self not in (Outcome.BENIGN, Outcome.SDC)
+        with no error reported.  An OOM run never finished at all — it
+        says nothing about detection either way."""
+        return self not in (Outcome.BENIGN, Outcome.SDC, Outcome.OOM)
 
     @property
     def is_survived(self) -> bool:
@@ -68,6 +73,9 @@ ERROR_KIND_TO_OUTCOME = {
     # Both are successful detections of an infrastructure fault.
     "log_integrity": Outcome.DETECTED,
     "infra_integrity": Outcome.DETECTED,
+    # The fault was detected but its recovery checkpoint had been evicted
+    # under memory pressure: fail-stop instead of rollback — a detection.
+    "checkpoint_evicted": Outcome.DETECTED,
 }
 
 
@@ -81,6 +89,11 @@ def classify_run(stats, reference_stdout: str,
     divergence is an :attr:`Outcome.SDC` escape; a clean finish after a
     rollback or checker retry is :attr:`Outcome.RECOVERED`.
     """
+    if getattr(stats, "oom_killed", False):
+        # The main died of memory exhaustion before the run could finish;
+        # classified first because a truncated run's output never matches
+        # the reference and must not masquerade as an SDC.
+        return Outcome.OOM
     if stats.errors:
         kind = stats.errors[0].kind
         return ERROR_KIND_TO_OUTCOME.get(kind, Outcome.DETECTED)

@@ -2,6 +2,12 @@
 
 from repro.harness.overhead import OverheadBreakdown, breakdown
 from repro.harness.periods import DURATION_COMPRESSION, effective_period
+from repro.harness.pressure import (
+    PressureRunResult,
+    PressureSweep,
+    run_pressure_campaign,
+    run_pressure_sweep,
+)
 from repro.harness.report import (
     render_breakdown,
     render_infra_campaign,
@@ -9,6 +15,7 @@ from repro.harness.report import (
     render_memory,
     render_overheads,
     render_period_sweep,
+    render_pressure_campaign,
 )
 from repro.harness.runner import (
     BenchmarkResult,
@@ -38,4 +45,9 @@ __all__ = [
     "render_period_sweep",
     "render_injection",
     "render_infra_campaign",
+    "render_pressure_campaign",
+    "PressureRunResult",
+    "PressureSweep",
+    "run_pressure_campaign",
+    "run_pressure_sweep",
 ]

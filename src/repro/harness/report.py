@@ -136,6 +136,72 @@ def render_injection(campaigns: Dict[str, CampaignResult]) -> str:
                   rows)
 
 
+def render_run_stats(stats) -> str:
+    """Key scalars of one run, from :meth:`RunStats.to_dict`.
+
+    Shows the headline timing, segment and memory counters — including
+    ``memory.peak_resident_bytes``, the frame-pool high-water mark the
+    pressure controller manages against — plus any nonzero pressure /
+    OOM counters so a degraded run is visible at a glance.
+    """
+    d = stats.to_dict()
+    keys = [
+        "timing.all_wall_time",
+        "timing.main_wall_time",
+        "counter.segments",
+        "counter.segments_checked",
+        "memory.peak_resident_bytes",
+    ]
+    keys.extend(sorted(
+        k for k, v in d.items()
+        if v and (k.startswith("counter.pressure.")
+                  or k in ("counter.oom_kills", "oom_killed"))))
+    rows = [(k, d[k]) for k in keys if k in d]
+    return _table(("stat", "value"), rows)
+
+
+def render_pressure_campaign(sweeps: Dict[str, "PressureSweep"]) -> str:
+    """Degradation table for :func:`repro.harness.pressure.run_pressure_campaign`.
+
+    One row per (benchmark, budget) rung, budget expressed both in bytes
+    and as the fraction of protection overhead retained.  The headline
+    reading: overhead grows monotonically as the budget shrinks, outputs
+    stay byte-identical on every surviving rung, and the bottom rung ends
+    in a clean OOM rather than a wrong answer.
+    """
+    headers = ("benchmark", "budget", "frac", "wall", "ovh%", "peakKiB",
+               "stall", "shed", "evict", "adapt", "outcome")
+    rows = []
+    for name in sorted(sweeps):
+        sweep = sweeps[name]
+        for run in sweep.runs:
+            if run.oom:
+                outcome = "OOM"
+            elif run.error_kinds:
+                outcome = "error:" + ",".join(run.error_kinds)
+            elif not run.output_matched:
+                outcome = "MISMATCH"
+            else:
+                outcome = "ok"
+            if run.invariant_violations:
+                outcome += f" +{len(run.invariant_violations)}inv"
+            if run.campaign is not None and run.campaign.total:
+                outcome += (f" sdc={100 * run.campaign.sdc_fraction:.0f}%")
+            rows.append((
+                name,
+                "unbounded" if run.budget_bytes is None
+                else str(run.budget_bytes),
+                "-" if run.overhead_fraction is None
+                else f"{run.overhead_fraction:.2f}",
+                f"{run.wall_time:.0f}",
+                f"{run.overhead_pct:+.1f}",
+                f"{run.peak_resident_bytes / 1024:.0f}",
+                run.stalls, run.sheds, run.evictions, run.adaptations,
+                outcome))
+    return "graceful degradation under memory pressure\n" + _table(
+        headers, rows)
+
+
 def render_infra_campaign(
         results: Dict[str, Dict[str, CampaignResult]]) -> str:
     """Infrastructure-fault coverage table (:mod:`repro.faults.infra`).

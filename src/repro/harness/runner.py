@@ -189,3 +189,71 @@ def energy_overhead_pct(protected: BenchmarkResult,
 def suite_geomean(overheads: Dict[str, float]) -> float:
     """Geometric-mean overhead across benchmarks, paper-style."""
     return geomean_overhead_pct(overheads.values())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.harness.runner --bench mcf --mem-sample``.
+
+    Runs each requested benchmark under the requested mode and prints the
+    measurement summary; with ``--mem-sample`` the runtime's PSS sampler
+    is enabled and the memory columns (mean PSS, peak resident bytes) are
+    populated.  ``--budget`` bounds the frame pool to exercise the
+    pressure ladder from the command line.
+    """
+    import argparse
+
+    from repro.workloads.registry import benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.runner",
+        description="Run benchmarks under baseline / parallaft / raft.")
+    parser.add_argument("--bench", required=True,
+                        help="comma-separated benchmark names")
+    parser.add_argument("--mode", default="parallaft",
+                        choices=("baseline", "parallaft", "raft"))
+    parser.add_argument("--mem-sample", action="store_true",
+                        help="sample PSS during the run and report "
+                             "mean PSS / peak resident bytes")
+    parser.add_argument("--budget", type=int, default=None, metavar="BYTES",
+                        help="frame-pool budget in bytes (default unbounded)")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--quantum", type=int, default=2000)
+    parser.add_argument("--seed-base", type=int, default=0)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace JSON per input")
+    args = parser.parse_args(argv)
+
+    from repro.harness.report import render_run_stats
+
+    for name in args.bench.split(","):
+        bench = benchmark(name.strip())
+        if args.mode == "baseline":
+            result = run_baseline(bench, scale=args.scale,
+                                  seed_base=args.seed_base,
+                                  quantum=args.quantum,
+                                  sample_memory=args.mem_sample)
+        else:
+            config = None
+            if args.budget is not None:
+                config = ParallaftConfig(mem_budget_bytes=args.budget)
+                if args.mode == "raft":
+                    config.mode = RuntimeMode.RAFT
+            result = run_protected(bench, mode=args.mode,
+                                   config=config, scale=args.scale,
+                                   seed_base=args.seed_base,
+                                   quantum=args.quantum,
+                                   sample_memory=args.mem_sample,
+                                   trace_path=args.trace)
+        print(f"== {bench.name} ({result.mode}) ==")
+        print(f"wall_time      {result.wall_time:.1f}")
+        print(f"energy_joules  {result.energy_joules:.3f}")
+        if args.mem_sample:
+            print(f"mean_pss       {result.mean_pss():.0f}")
+        for run in result.inputs:
+            if run.stats is not None:
+                print(render_run_stats(run.stats))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

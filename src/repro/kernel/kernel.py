@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import abi
-from repro.common.errors import KernelError
+from repro.common.errors import FramePoolExhausted, KernelError
 from repro.common.rng import RngPool
 from repro.cpu.nondet import NondetSource
 from repro.cpu.state import CpuContext
@@ -32,7 +32,7 @@ from repro.mem.address_space import (
     PROT_WRITE,
     PageFault,
 )
-from repro.mem.frames import FramePool
+from repro.mem.frames import FramePool, budget_from_env
 from repro.trace import NULL_TRACE
 from repro.trace import events as tev
 
@@ -57,13 +57,16 @@ class Kernel:
     def __init__(self, page_size: int = 16384, seed: int = 0,
                  aslr: bool = True,
                  costs: Optional[KernelCostModel] = None,
-                 counters: Optional[CounterModel] = None):
+                 counters: Optional[CounterModel] = None,
+                 mem_budget_bytes: Optional[int] = None):
         self.page_size = page_size
         self.rng = RngPool(seed)
         self.aslr = aslr
         self.costs = costs or KernelCostModel()
         self.counters = counters or CounterModel()
-        self.pool = FramePool(page_size)
+        if mem_budget_bytes is None:
+            mem_budget_bytes = budget_from_env()
+        self.pool = FramePool(page_size, budget_bytes=mem_budget_bytes)
         self.vfs = Vfs(self.rng.stream("urandom"))
         self.console = Console()
         self.stderr_console = Console("stderr")
@@ -76,7 +79,7 @@ class Kernel:
         #: Per-run statistics.
         self.stats: Dict[str, int] = {
             "forks": 0, "syscalls": 0, "signals_delivered": 0,
-            "trace_stops": 0, "rollbacks": 0,
+            "trace_stops": 0, "rollbacks": 0, "oom_kills": 0,
         }
 
     # -- time ---------------------------------------------------------------
@@ -153,6 +156,43 @@ class Kernel:
     def kill_process(self, proc: Process, signo: int) -> None:
         """Terminate with a fatal signal (exit code 128+signo)."""
         self.exit_process(proc, 128 + signo)
+
+    def oom_kill(self, proc: Process, needed: int = 0,
+                 can_block: bool = False) -> None:
+        """Out-of-memory kill: the frame-pool budget could not satisfy an
+        allocation by ``proc`` even after reclaim.
+
+        A distinct exit class from fault detections: the process dies with
+        SIGKILL (exit 137) and ``proc.oom_killed`` is set so outcome
+        classification can tell "the machine ran out of RAM" apart from
+        "an error was detected".  The tracer may intercept via ``on_oom``
+        (Parallaft sacrifices checkers and re-queues their segments).
+        The stage-3 exhaustion event is always emitted before ``OOM`` so
+        the trace invariant (every OOM follows an exhaustion) holds by
+        construction.
+        """
+        if not proc.alive:
+            return
+        if self.trace.enabled:
+            self.trace.emit(tev.PRESSURE_EXHAUSTED, pid=proc.pid, stage=3,
+                            needed=needed,
+                            resident=self.pool.resident_bytes,
+                            budget=self.pool.budget_bytes)
+        handled = False
+        if proc.tracer is not None:
+            handled = proc.tracer.on_oom(proc, can_block)
+        if handled:
+            # The tracer absorbed the overrun (e.g. shed the checker); the
+            # victim was not OOM-killed.
+            return
+        proc.oom_killed = True
+        self.stats["oom_kills"] += 1
+        if self.trace.enabled:
+            self.trace.emit(tev.OOM, pid=proc.pid, needed=needed,
+                            resident=self.pool.resident_bytes,
+                            budget=self.pool.budget_bytes)
+        if proc.alive:
+            self.kill_process(proc, abi.SIGKILL)
 
     def reap(self, proc: Process) -> None:
         """Release a zombie's (or a paused checkpoint's) resources."""
@@ -284,6 +324,9 @@ class Kernel:
             return handler(self, proc, args)
         except PageFault:
             return -abi.EFAULT, 0.0
+        except FramePoolExhausted as exc:
+            self.oom_kill(proc, exc.needed)
+            return -abi.ENOMEM, 0.0
 
     # individual syscalls ------------------------------------------------------
 
@@ -340,6 +383,8 @@ class Kernel:
         try:
             base = proc.mem.mmap(addr, length, prot, flags,
                                  name="" if flags & MAP_ANONYMOUS else "file")
+        except FramePoolExhausted:
+            raise
         except Exception:
             return -abi.EINVAL, 0.0
         if content:

@@ -57,6 +57,9 @@ class Process:
         self.nondet = nondet
         self.state = ProcessState.RUNNING
         self.exit_code: Optional[int] = None
+        #: set by Kernel.oom_kill — distinguishes running out of RAM from
+        #: fault detections in outcome classification
+        self.oom_killed = False
         self.parent: Optional["Process"] = None
         self.children: List["Process"] = []
 

@@ -71,6 +71,15 @@ class Tracer:
     def on_process_exit(self, proc) -> None:
         """The tracee exited (exit syscall, fatal signal, or halt)."""
 
+    def on_oom(self, proc, can_block: bool = False) -> bool:
+        """``proc`` exceeded the frame-pool budget and is about to be
+        OOM-killed.  Return True if the tracer handled the condition itself
+        (e.g. sacrificed the process and re-queued its work); False to let
+        the kernel deliver the kill.  ``can_block`` is True when the
+        process stopped resumably on the faulting instruction, so the
+        tracer may instead park it and retry once memory frees up."""
+        return False
+
     def on_quantum(self, proc, executed: int) -> None:
         """Called after every execution quantum with the instruction count;
         cheap bookkeeping only (the slicer's cycle check lives here)."""

@@ -6,11 +6,34 @@ the AArch64-style ``PAGEMAP_SCAN`` dirty-page backend (paper §4.4): a frame
 mapped exactly once is private to its process — i.e. written or newly
 allocated since the fork — while a frame mapped more than once is still
 shared with the checkpoint/checker and therefore unmodified.
+
+The pool can be given a finite byte budget (``budget_bytes``), making it
+behave like real RAM: allocations past the budget first invoke the
+``reclaim_hook`` (the pressure controller's emergency-reclaim path) and, if
+that fails to make room, raise :class:`FramePoolExhausted`.  Accounting is
+exact and COW-aware — ``resident_bytes`` counts each unique live frame once
+regardless of how many address spaces map it, and is maintained
+incrementally so it is authoritative at every instant.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import FramePoolExhausted
+
+
+def budget_from_env(var: str = "REPRO_MEM_BUDGET") -> Optional[int]:
+    """Default frame-pool budget from the environment (bytes), or None.
+
+    Lets the whole suite run under a finite budget (CI's pressure-coverage
+    job) without threading a parameter through every entry point.
+    """
+    raw = os.environ.get(var)
+    if not raw:
+        return None
+    return int(raw)
 
 
 class Frame:
@@ -34,12 +57,21 @@ class FramePool:
     (proportional set size: frame size divided by its map count).
     """
 
-    def __init__(self, page_size: int):
+    def __init__(self, page_size: int, budget_bytes: Optional[int] = None):
         if page_size <= 0 or page_size % 8:
             raise ValueError(f"page size must be a positive multiple of 8: {page_size}")
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget must be positive: {budget_bytes}")
         self.page_size = page_size
+        self.budget_bytes = budget_bytes
         self._next_id = 1
         self._frames: Dict[int, Frame] = {}
+        self._resident_bytes = 0
+        #: high-water mark of ``resident_bytes`` over the pool's lifetime
+        self.peak_resident_bytes = 0
+        #: called with the shortfall in bytes when an allocation would
+        #: exceed the budget; may free frames (via ``decref``) to make room
+        self.reclaim_hook: Optional[Callable[[int], None]] = None
         #: cumulative counters for the timing/energy model
         self.frames_allocated = 0
         self.frames_copied = 0
@@ -50,7 +82,25 @@ class FramePool:
 
     @property
     def resident_bytes(self) -> int:
-        return len(self._frames) * self.page_size
+        return self._resident_bytes
+
+    def set_budget(self, budget_bytes: Optional[int]) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget must be positive: {budget_bytes}")
+        self.budget_bytes = budget_bytes
+
+    def _reserve(self, nbytes: int) -> None:
+        """Account ``nbytes`` of new residency, enforcing the budget."""
+        if (self.budget_bytes is not None
+                and self._resident_bytes + nbytes > self.budget_bytes):
+            if self.reclaim_hook is not None:
+                self.reclaim_hook(nbytes)
+            if self._resident_bytes + nbytes > self.budget_bytes:
+                raise FramePoolExhausted(
+                    nbytes, self._resident_bytes, self.budget_bytes)
+        self._resident_bytes += nbytes
+        if self._resident_bytes > self.peak_resident_bytes:
+            self.peak_resident_bytes = self._resident_bytes
 
     def allocate(self, data: Optional[bytes] = None) -> Frame:
         """Allocate a fresh frame, zero-filled or initialized from ``data``."""
@@ -61,6 +111,7 @@ class FramePool:
                 raise ValueError("initial data larger than a page")
             payload = bytearray(self.page_size)
             payload[:len(data)] = data
+        self._reserve(self.page_size)
         frame = Frame(self._next_id, payload)
         self._next_id += 1
         self._frames[frame.frame_id] = frame
@@ -69,6 +120,7 @@ class FramePool:
 
     def clone(self, frame: Frame) -> Frame:
         """Copy-on-write resolution: duplicate ``frame`` into a private copy."""
+        self._reserve(self.page_size)
         copy = Frame(self._next_id, bytearray(frame.data))
         self._next_id += 1
         self._frames[copy.frame_id] = copy
@@ -86,6 +138,7 @@ class FramePool:
         if frame.refcount == 0:
             del self._frames[frame.frame_id]
             self.frames_freed += 1
+            self._resident_bytes -= self.page_size
 
     def live_frame(self, frame_id: int) -> Optional[Frame]:
         return self._frames.get(frame_id)

@@ -118,6 +118,9 @@ class RecoveryManager:
                             "infra_integrity")
                 or self.rt._integrity_failed
                 or checkpoint is None
+                # Evicted under memory pressure (stage 3): the saved state
+                # is gone; the error path reports ``checkpoint_evicted``.
+                or segment.checkpoint_evicted
                 or checkpoint.state == ProcessState.DEAD
                 or self.rollbacks >= self.config.max_rollbacks
                 or self.rollback_streak
@@ -196,7 +199,10 @@ class RecoveryManager:
         rt._pending_mmap_split = False
         rt._main_stalled_on_cap = False
         rt._main_stalled_for_containment = False
+        rt._main_stalled_on_pressure = False
         rt.sched.main_done = False
+        if rt.pressure is not None:
+            rt.pressure.on_rollback()
 
         # Arm the watchdog: the re-execution must reach the next boundary
         # within a multiple of the work the original recording needed.

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro import abi
-from repro.common.errors import SimulationError
+from repro.common.errors import FramePoolExhausted, SimulationError
 from repro.cpu import interpreter
 from repro.cpu.exceptions import FaultKind, StopReason
 from repro.kernel.kernel import Kernel
@@ -66,6 +66,9 @@ class Executor:
         self.total_mem_ops = 0
         self.samplers: List[Sampler] = []
         self.steps = 0
+        #: the process currently inside its quantum; emergency frame
+        #: reclaim (pressure controller) must not tear this one down
+        self.current_proc: Optional[Process] = None
         kernel.time_fn = lambda: self.current_time
         self._cow_seen = {}
         self._shutdown = False
@@ -221,6 +224,7 @@ class Executor:
         core = proc.core
         start = max(core.local_time, proc.ready_time)
         self.current_time = start
+        self.current_proc = proc
         self.steps += 1
 
         sys_cycles = self.kernel.deliver_pending_signal(proc)
@@ -232,8 +236,15 @@ class Executor:
             instr_before = cpu.instr_retired
             mem_before = cpu.mem_ops_retired
             cow_before = proc.mem.cow_faults
-            stop = interpreter.run(proc, self.quantum)
-            executed = stop.executed
+            try:
+                stop = interpreter.run(proc, self.quantum)
+            except FramePoolExhausted as exc:
+                # Escaped the interpreter's own OOM stop (e.g. raised by
+                # non-store machinery): the cpu write-back was skipped, so
+                # the process is NOT resumable — never block here.
+                stop = None
+                self.kernel.oom_kill(proc, exc.needed)
+            executed = stop.executed if stop is not None else 0
             instr_delta = cpu.instr_retired - instr_before
             mem_delta = cpu.mem_ops_retired - mem_before
             cow_delta = proc.mem.cow_faults - cow_before
@@ -266,7 +277,15 @@ class Executor:
                     self.platform.page_size, cow_delta)
 
             self.current_time = start + user_seconds
-            sys_cycles += self._handle_stop(proc, stop)
+            if stop is not None:
+                try:
+                    sys_cycles += self._handle_stop(proc, stop)
+                except FramePoolExhausted as exc:
+                    # Syscall/replay machinery (e.g. a tracer replaying a
+                    # recorded read into a checker) ran out of frames
+                    # mid-side-effect: partially-applied state is not
+                    # resumable, so blocking is not offered.
+                    self.kernel.oom_kill(proc, exc.needed)
 
         sys_seconds = sys_cycles / core.freq_hz
         total = user_seconds + sys_seconds
@@ -290,6 +309,12 @@ class Executor:
         """Dispatch a stop reason; returns extra hw-cycle cost."""
         reason = stop.reason
         if reason in (StopReason.BUDGET,):
+            return 0.0
+        if reason == StopReason.OOM:
+            # The interpreter stopped cleanly on the faulting store (pc
+            # un-advanced), so the tracer may park the process and retry
+            # the allocation later: blocking is safe here.
+            self.kernel.oom_kill(proc, stop.needed, can_block=True)
             return 0.0
         if reason == StopReason.SYSCALL:
             return self.kernel.handle_syscall(proc)

@@ -68,6 +68,26 @@ Integrity hardening (config knobs ``log_checksums`` /
   comparator itself is untrusted.  From this point on the run must never
   roll back (the no-ROLLBACK-after-INTEGRITY_FAIL invariant) — a
   rollback would promote evidence the run just proved rotten.
+
+Memory pressure (finite frame-pool budget; ``repro.core.pressure``):
+
+* ``pressure_stall``     — stage 1: the controller engaged backpressure on
+  the main (payload ``stage``, ``resident``, ``budget``)
+* ``pressure_shed``      — stage 2: a young in-flight checker was torn
+  down and its segment re-queued (payload ``stage``, ``freed``)
+* ``evict``              — stage 3: a retained recovery checkpoint was
+  evicted, oldest-first, never the rollback anchor (payload ``stage``,
+  ``freed``)
+* ``pressure_adapt``     — stage 4: the slicing period was shortened from
+  the observed dirty-page rate (payload ``stage``, ``period``)
+* ``pressure_exhausted`` — the whole ladder ran dry and an allocation
+  still could not be satisfied; always emitted before ``oom``
+* ``oom``                — the kernel OOM-killed the allocating process
+  (exit 137, a distinct exit class from fault detections)
+
+The stage numbers form the degradation-ladder invariant: a stage-N action
+never precedes the first stage-N−1 action of the run.  ``main_stall`` /
+``main_wake`` gain ``reason="pressure"`` for the stage-1 backpressure.
 """
 
 from __future__ import annotations
@@ -104,6 +124,7 @@ MAIN_WAKE = "main_wake"
 SYSCALL_HELD = "syscall_held"
 STALL_CAP = "cap"
 STALL_CONTAINMENT = "containment"
+STALL_PRESSURE = "pressure"
 
 # Record/replay and checking.
 SYSCALL_RECORD = "syscall_record"
@@ -120,6 +141,22 @@ APP_TERMINATE = "app_terminate"
 # Integrity hardening.
 INTEGRITY_CHECK = "integrity_check"
 INTEGRITY_FAIL = "integrity_fail"
+
+# Memory pressure (degradation ladder stages 1-4, then exhaustion/OOM).
+PRESSURE_STALL = "pressure_stall"
+PRESSURE_SHED = "pressure_shed"
+EVICT = "evict"
+PRESSURE_ADAPT = "pressure_adapt"
+PRESSURE_EXHAUSTED = "pressure_exhausted"
+OOM = "oom"
+
+#: Degradation-ladder stage of each pressure action kind.
+PRESSURE_STAGES = {
+    PRESSURE_STALL: 1,
+    PRESSURE_SHED: 2,
+    EVICT: 3,
+    PRESSURE_ADAPT: 4,
+}
 
 #: Kinds that end a segment's live interval (RECORDING/READY/CHECKING).
 SEGMENT_TERMINAL = (SEGMENT_CHECKED, SEGMENT_FAILED, SEGMENT_ROLLED_BACK)

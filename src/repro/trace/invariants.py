@@ -26,9 +26,23 @@ the paper's correctness argument depends on:
     retained checkpoint is untrusted and promoting one would launder the
     corruption into a "recovered" timeline.  Checked unconditionally —
     a dropped event can hide a violation but never fabricate one.
+(g) **degradation ladder** — memory-pressure actions escalate strictly in
+    order: a stage-N event (``pressure_stall``=1, ``pressure_shed``=2,
+    ``evict``=3, ``pressure_adapt``=4) never appears before the run's
+    first stage-N−1 event.  ``pressure_exhausted`` is exempt (it marks
+    the ladder running dry, at whatever rung reclaim got to).
+(h) **OOM provenance** — every ``oom`` event is preceded by a
+    ``pressure_exhausted`` event: the kernel never kills for memory
+    without first recording that the ladder could not make room.
+(i) **no rollback to an evicted checkpoint** — a ``rollback`` whose
+    segment had its recovery checkpoint evicted (an earlier ``evict``
+    event for the same segment) would promote freed state; recovery must
+    refuse it with a typed error instead.  Checked unconditionally, like
+    (f).
 
-Pairing-based invariants (b)–(d) are skipped when the ring buffer dropped
-events, since a dropped stall/assign would produce false positives.
+Pairing-based invariants (b)–(d) and the order-sensitive pressure
+invariants (g)–(h) are skipped when the ring buffer dropped events, since
+a dropped stall/assign/stage event would produce false positives.
 """
 
 from __future__ import annotations
@@ -45,9 +59,13 @@ from .events import (
     CONSOLE_WRITE,
     CORE_ASSIGN,
     CORE_UNASSIGN,
+    EVICT,
     INTEGRITY_FAIL,
     MAIN_STALL,
     MAIN_WAKE,
+    OOM,
+    PRESSURE_EXHAUSTED,
+    PRESSURE_STAGES,
     PROCESS_EXIT,
     ROLLBACK,
     SEGMENT_READY,
@@ -107,9 +125,41 @@ class InvariantChecker:
         writes: List[_ConsoleWrite] = []
         app_terminated = False
         integrity_failed: Optional[TraceEvent] = None
+        max_stage = 0
+        exhausted_seen = False
+        evicted_segments: Set[int] = set()
 
         for event in events:
             kind = event.kind
+
+            # -- (g) degradation ladder / (h) OOM provenance ------------
+            stage = PRESSURE_STAGES.get(kind)
+            if stage is not None:
+                if stage > max_stage + 1 and dropped == 0:
+                    self._violate(
+                        "pressure_ladder",
+                        f"stage-{stage} pressure action ({kind}) before "
+                        f"any stage-{stage - 1} action (max stage seen: "
+                        f"{max_stage})", event)
+                max_stage = max(max_stage, stage)
+            elif kind == PRESSURE_EXHAUSTED:
+                exhausted_seen = True
+            elif kind == OOM and not exhausted_seen and dropped == 0:
+                self._violate(
+                    "oom_provenance",
+                    f"oom for pid {event.pid} with no preceding "
+                    f"pressure_exhausted event", event)
+
+            # -- (i) no rollback to an evicted checkpoint ---------------
+            if kind == EVICT and event.segment is not None:
+                evicted_segments.add(event.segment)
+            elif (kind == ROLLBACK and event.segment is not None
+                    and event.segment in evicted_segments):
+                self._violate(
+                    "evicted_rollback",
+                    f"rollback to segment {event.segment} whose recovery "
+                    f"checkpoint was evicted — freed state was promoted",
+                    event)
 
             # -- (f) integrity: no rollback after an integrity failure --
             if kind == INTEGRITY_FAIL:

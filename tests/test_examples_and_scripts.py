@@ -45,6 +45,13 @@ class TestExamples:
         assert "log_integrity" in result.stdout
         assert "integrity_fail" in result.stdout
 
+    def test_memory_pressure_demo(self):
+        result = run_example("memory_pressure_demo.py", timeout=600)
+        assert result.returncode == 0, result.stderr
+        assert "unbounded reference" in result.stdout
+        assert "byte-identical" in result.stdout
+        assert "OOM" in result.stdout
+
     def test_heterogeneous_scheduling(self):
         result = run_example("heterogeneous_scheduling.py", timeout=360)
         assert result.returncode == 0, result.stderr

@@ -223,14 +223,14 @@ class TestRecoveryBounds:
         runtime = make_runtime()
         manager = runtime.recovery
         segment = SimpleNamespace(recovery_checkpoint=SimpleNamespace(
-            state=ProcessState.PAUSED))
+            state=ProcessState.PAUSED), checkpoint_evicted=False)
         assert not manager.on_check_failed(segment, "recovery_watchdog")
 
     def test_rollback_budget_guard(self):
         runtime = make_runtime()
         manager = runtime.recovery
         segment = SimpleNamespace(recovery_checkpoint=SimpleNamespace(
-            state=ProcessState.PAUSED))
+            state=ProcessState.PAUSED), checkpoint_evicted=False)
         manager.rollbacks = runtime.config.max_rollbacks
         assert not manager.on_check_failed(segment, "state_mismatch")
 
