@@ -22,6 +22,7 @@ from repro.core.config import ParallaftConfig
 from repro.core.segment import Segment, SegmentStatus
 from repro.core.stats import RunStats
 from repro.kernel.process import Process, ProcessState
+from repro.metrics import phases as mph
 from repro.sim.cores import Core
 from repro.sim.executor import Executor, core_label
 from repro.trace import events as tev
@@ -99,7 +100,8 @@ class CheckerScheduler:
     def migrate(self, segment: Segment, core: Core) -> None:
         checker = segment.checker
         self.executor.assign(checker, core)
-        self.executor.charge(checker, MIGRATION_COST_CYCLES)
+        self.executor.charge(checker, MIGRATION_COST_CYCLES,
+                             phase=mph.RUNTIME)
         segment.checker_was_migrated = True
         self.stats.checker_migrations += 1
         trace = self.executor.trace

@@ -90,9 +90,29 @@ class StateComparator:
         #: (read-and-cleared) at compare entry so an early-stage return
         #: cannot leak it into a later segment's comparison.
         self.fault_next_digest_collision = False
+        #: Optional ``repro.metrics`` registry; when present, every
+        #: comparison feeds the per-compare work histograms.
+        self.metrics = None
 
     def compare(self, checker: Process, checkpoint: Process,
                 dirty_vpns: Optional[Set[int]] = None) -> ComparisonResult:
+        result = self._compare(checker, checkpoint, dirty_vpns)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "comparator.bytes_hashed",
+                bounds=(0.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+                        4194304.0, 16777216.0)).observe(result.bytes_hashed)
+            self.metrics.histogram(
+                "comparator.pages_compared",
+                bounds=(0.0, 1.0, 4.0, 16.0, 64.0, 256.0,
+                        1024.0, 4096.0)).observe(result.pages_compared)
+            self.metrics.counter("comparator.compares").inc()
+            if not result.match:
+                self.metrics.counter("comparator.mismatches").inc()
+        return result
+
+    def _compare(self, checker: Process, checkpoint: Process,
+                 dirty_vpns: Optional[Set[int]] = None) -> ComparisonResult:
         """Compare checker state against the end-of-segment checkpoint.
 
         ``dirty_vpns`` is the union of pages modified by the main during the

@@ -189,6 +189,14 @@ class ParallaftConfig:
     #: counted) once full, so tracing cost is O(1) in run length.
     trace_capacity: int = 65536
 
+    #: Metric registry + phase-attribution profiler (``repro.metrics``):
+    #: every charged cycle is attributed to a runtime phase and the
+    #: cycle-conservation invariant is enforced on traced runs.
+    enable_metrics: bool = True
+    #: Virtual-time gauge sampling period in seconds; None disables the
+    #: sampler (``Parallaft.enable_metrics_sampling`` can still arm it).
+    metrics_sample_interval: Optional[float] = None
+
     def validate(self) -> None:
         if self.slicing_period <= 0:
             raise RuntimeConfigError("slicing_period must be positive")
@@ -223,6 +231,10 @@ class ParallaftConfig:
                 "recovery requires state comparison (compare_state)")
         if self.trace_capacity < 1:
             raise RuntimeConfigError("trace_capacity must be >= 1")
+        if self.metrics_sample_interval is not None \
+                and self.metrics_sample_interval <= 0:
+            raise RuntimeConfigError(
+                "metrics_sample_interval must be positive")
         if self.clean_page_audit < 0:
             raise RuntimeConfigError("clean_page_audit must be >= 0")
         if self.mem_budget_bytes is not None and self.mem_budget_bytes <= 0:

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro import abi
 from repro.core.segment import Segment, SegmentStatus
 from repro.kernel.process import ProcessState
+from repro.metrics import phases as mph
 from repro.trace import events as tev
 
 if TYPE_CHECKING:
@@ -183,6 +184,10 @@ class PressureController:
             return
         rt._main_stalled_on_pressure = True
         main.state = ProcessState.WAITING
+        # Pressure backpressure is a phase of its own, distinct from the
+        # containment stall — conflating them hides which subsystem is
+        # holding the main back.
+        rt.profiler.open_span(main.pid, mph.PRESSURE_STALL)
         rt._emit(tev.MAIN_STALL, proc=main,
                  segment=rt.current.index if rt.current else None,
                  reason=tev.STALL_PRESSURE)
@@ -305,6 +310,7 @@ class PressureController:
         resumable): it retries once retirements free frames."""
         proc.state = ProcessState.WAITING
         self._blocked[proc.pid] = proc
+        self.rt.profiler.open_span(proc.pid, mph.CHECKER_STALL)
         self.rt._emit(tev.CHECKER_STALL, proc=proc, segment=segment.index,
                       reason="memory")
 
@@ -330,6 +336,7 @@ class PressureController:
             proc.state = ProcessState.RUNNING
             proc.ready_time = max(proc.ready_time,
                                   self.rt.executor.current_time)
+            self.rt.profiler.close_span(pid)
             segment = self.rt.segment_of_checker.get(pid)
             self.rt._emit(tev.CHECKER_WAKE, proc=proc,
                           segment=segment.index if segment else None)

@@ -63,6 +63,8 @@ from repro.isa.program import Program
 from repro.kernel import Kernel, SyscallAction, Tracer
 from repro.kernel.process import Process, ProcessState
 from repro.mem.frames import budget_from_env
+from repro.metrics import MetricRegistry, PhaseProfiler
+from repro.metrics import phases as mph
 from repro.recovery.manager import RecoveryManager
 from repro.sim.executor import Executor, core_label
 from repro.sim.platform import PlatformConfig, apple_m2
@@ -113,6 +115,18 @@ class Parallaft(Tracer):
             self.kernel.vfs.register(path, data)
 
         self.stats = RunStats()
+        #: Metric registry + phase-attribution profiler (repro.metrics).
+        #: The profiler is shared with the executor (cycle charges) and
+        #: the kernel (span closure on every process-exit path).
+        self.metrics = MetricRegistry()
+        self.profiler = PhaseProfiler(
+            clock=lambda: self.executor.current_time,
+            role_of=lambda proc: self.roles.get(proc.pid),
+            segment_of=self._segment_index_of,
+            enabled=self.config.enable_metrics)
+        self.executor.profiler = self.profiler
+        self.kernel.profiler = self.profiler
+        self.stats.bind_registry(self.metrics)
         backend = self.config.dirty_page_backend
         if backend is None:
             backend = (DirtyPageBackend.SOFT_DIRTY
@@ -123,6 +137,8 @@ class Parallaft(Tracer):
         self.comparator = StateComparator(
             self.config.comparison, self.platform.page_size,
             redundant=self.config.redundant_compare)
+        self.comparator.metrics = (self.metrics
+                                   if self.config.enable_metrics else None)
         self.sched = CheckerScheduler(self.executor, self.config, self.stats)
         self.slicing_unit = (self.config.slicing_unit
                              or self.platform.slicing_unit)
@@ -164,6 +180,21 @@ class Parallaft(Tracer):
         #: compared (the infra campaign's digest-fault model arms the
         #: comparator here).
         self.compare_hooks: List[Callable[[Segment], None]] = []
+        if self.config.metrics_sample_interval is not None \
+                and self.config.enable_metrics:
+            self.enable_metrics_sampling(self.config.metrics_sample_interval)
+
+    def _segment_index_of(self, proc: Process) -> Optional[int]:
+        """The segment a process's work belongs to, for the profiler's
+        per-segment ledger: a checker charges its own segment, the main
+        charges the segment it is currently recording."""
+        role = self.roles.get(proc.pid)
+        if role == "checker":
+            segment = self.segment_of_checker.get(proc.pid)
+            return segment.index if segment is not None else None
+        if role == "main" and self.current is not None:
+            return self.current.index
+        return None
 
     # ------------------------------------------------------------------ setup
 
@@ -210,6 +241,7 @@ class Parallaft(Tracer):
             self.stats.exit_code = 128 + abi.SIGKILL
             self.stats.peak_resident_bytes = float(
                 self.kernel.pool.peak_resident_bytes)
+            self._finalize_metrics()
             return self.stats
         self.executor.run()
         self._finalize_stats()
@@ -243,7 +275,7 @@ class Parallaft(Tracer):
         main = self.main
         checker, fork_cost = self.kernel.fork(
             main, name=f"checker-{len(self.segments)}", paused=True)
-        self.executor.charge(main, fork_cost)
+        self.executor.charge(main, fork_cost, phase=mph.CHECKPOINT_FORK)
         self.roles[checker.pid] = "checker"
         segment = Segment(
             index=len(self.segments),
@@ -270,7 +302,7 @@ class Parallaft(Tracer):
             # with enable_recovery, to roll the main back to.
             recovery, cost = self.kernel.fork(
                 main, name=f"recovery-{segment.index}", paused=True)
-            self.executor.charge(main, cost)
+            self.executor.charge(main, cost, phase=mph.CHECKPOINT_FORK)
             self.roles[recovery.pid] = "checkpoint"
             segment.recovery_checkpoint = recovery
             if self.config.checkpoint_digests:
@@ -281,13 +313,16 @@ class Parallaft(Tracer):
                 digest, nbytes = state_digest(recovery)
                 segment.checkpoint_digest = digest
                 self.executor.charge(main,
-                                     self.kernel.costs.hash_cycles(nbytes))
+                                     self.kernel.costs.hash_cycles(nbytes),
+                                     phase=mph.HASHING)
         if self.config.compare_state:
             pages = self.dirty_tracker.begin_segment(main)
             self.executor.charge(main,
-                                 self.kernel.costs.dirty_clear_cycles(pages))
+                                 self.kernel.costs.dirty_clear_cycles(pages),
+                                 phase=mph.DIRTY_SCAN)
         # Program the branch counter for execution-point recording (§4.2.1).
-        self.executor.charge(main, self.kernel.costs.perf_setup_cycles)
+        self.executor.charge(main, self.kernel.costs.perf_setup_cycles,
+                             phase=mph.RUNTIME)
         if self.config.mode == RuntimeMode.RAFT:
             # RAFT's checker runs concurrently from the very start,
             # consuming the log as it is recorded.
@@ -309,7 +344,7 @@ class Parallaft(Tracer):
         if self.config.compare_state:
             segment.main_dirty_vpns = self.dirty_tracker.dirty_vpns(main)
             self.executor.charge(main, self.kernel.costs.dirty_scan_cycles(
-                main.mem.mapped_pages))
+                main.mem.mapped_pages), phase=mph.DIRTY_SCAN)
         if end_is_main_exit:
             # The final segment compares against the exited (unreaped) main.
             segment.end_checkpoint = main
@@ -317,7 +352,7 @@ class Parallaft(Tracer):
         else:
             checkpoint, cost = self.kernel.fork(
                 main, name=f"checkpoint-{segment.index + 1}", paused=True)
-            self.executor.charge(main, cost)
+            self.executor.charge(main, cost, phase=mph.CHECKPOINT_FORK)
             self.roles[checkpoint.pid] = "checkpoint"
             segment.end_checkpoint = checkpoint
         segment.ready_time = self.executor.current_time
@@ -363,7 +398,8 @@ class Parallaft(Tracer):
         # until the scheduler places it.
         self.executor.charge_deferred(
             checker, self.kernel.costs.perf_setup_cycles
-            + self.kernel.costs.breakpoint_setup_cycles)
+            + self.kernel.costs.breakpoint_setup_cycles,
+            phase=mph.RUNTIME)
         if checker.state == ProcessState.WAITING:
             self._wake_checker(checker)
 
@@ -380,7 +416,8 @@ class Parallaft(Tracer):
         if nbytes:
             self.stats.bytes_recorded += nbytes
             self.executor.charge(
-                proc, nbytes * self.kernel.costs.record_per_byte_cycles)
+                proc, nbytes * self.kernel.costs.record_per_byte_cycles,
+                phase=mph.RUNTIME)
 
     def _wake_checker(self, checker: Process) -> None:
         if checker.state == ProcessState.WAITING:
@@ -388,6 +425,7 @@ class Parallaft(Tracer):
             checker.ready_time = max(checker.ready_time,
                                      self.executor.current_time)
             self._stalled_checkers.discard(checker.pid)
+            self.profiler.close_span(checker.pid)
             segment = self.segment_of_checker.get(checker.pid)
             self._emit(tev.CHECKER_WAKE, proc=checker,
                        segment=segment.index if segment else None)
@@ -395,6 +433,7 @@ class Parallaft(Tracer):
     def _stall_checker(self, checker: Process) -> None:
         checker.state = ProcessState.WAITING
         self._stalled_checkers.add(checker.pid)
+        self.profiler.open_span(checker.pid, mph.CHECKER_STALL)
         segment = self.segment_of_checker.get(checker.pid)
         self._emit(tev.CHECKER_STALL, proc=checker,
                    segment=segment.index if segment else None,
@@ -461,7 +500,8 @@ class Parallaft(Tracer):
         self.stats.integrity_checks += 1
         if self.main is not None and self.main.alive:
             self.executor.charge(self.main,
-                                 self.kernel.costs.hash_cycles(nbytes))
+                                 self.kernel.costs.hash_cycles(nbytes),
+                                 phase=mph.HASHING)
         ok = digest == segment.checkpoint_digest
         self._emit(tev.INTEGRITY_CHECK, segment=segment.index,
                    check="checkpoint", ok=ok)
@@ -607,7 +647,8 @@ class Parallaft(Tracer):
         self._emit(tev.CHECKER_RETRY, proc=fresh, segment=segment.index,
                    retry=segment.retries, cause=cause)
         self._release_segment(segment)
-        self.executor.charge_deferred(fresh, cost)
+        self.executor.charge_deferred(fresh, cost,
+                                      phase=mph.CHECKPOINT_FORK)
 
     def _terminate_application(self) -> None:
         """An error was detected: terminate the application (paper §4.4)."""
@@ -666,6 +707,7 @@ class Parallaft(Tracer):
             # stalls here and re-issues the syscall once they retire.
             self._main_stalled_for_containment = True
             proc.state = ProcessState.WAITING
+            self.profiler.open_span(proc.pid, mph.CONTAINMENT_STALL)
             if self.trace.enabled:
                 waiting_on = [s.index for s in self.segments
                               if s.live and s.index < self.current.index]
@@ -844,7 +886,8 @@ class Parallaft(Tracer):
         elif reason == StopReason.COUNTER_OVERFLOW:
             outcome = replayer.on_overflow()
             self.executor.charge(proc,
-                                 self.kernel.costs.breakpoint_setup_cycles)
+                                 self.kernel.costs.breakpoint_setup_cycles,
+                                 phase=mph.RUNTIME)
         elif reason == StopReason.BREAKPOINT:
             outcome = replayer.on_breakpoint()
         else:
@@ -1145,6 +1188,7 @@ class Parallaft(Tracer):
             # segment retires rather than growing the live set.
             self._main_stalled_on_cap = True
             proc.state = ProcessState.WAITING
+            self.profiler.open_span(proc.pid, mph.CAP_STALL)
             self._emit(tev.MAIN_STALL, proc=proc, segment=segment.index,
                        reason=tev.STALL_CAP)
             return
@@ -1161,10 +1205,11 @@ class Parallaft(Tracer):
             union = set(segment.main_dirty_vpns)
             union.update(self.dirty_tracker.dirty_vpns(checker))
             self.executor.charge(checker, self.kernel.costs.dirty_scan_cycles(
-                checker.mem.mapped_pages))
+                checker.mem.mapped_pages), phase=mph.DIRTY_SCAN)
             result = self.comparator.compare(checker, checkpoint, union)
             self.executor.charge(
-                checker, self.kernel.costs.hash_cycles(result.bytes_hashed))
+                checker, self.kernel.costs.hash_cycles(result.bytes_hashed),
+                phase=mph.COMPARISON)
             self._emit(tev.COMPARISON, proc=checker, segment=segment.index,
                        match=result.match, bytes_hashed=result.bytes_hashed)
             if not result.match:
@@ -1186,7 +1231,8 @@ class Parallaft(Tracer):
                     self.config.clean_page_audit)
                 self.stats.integrity_checks += 1
                 self.executor.charge(
-                    checker, self.kernel.costs.hash_cycles(audit_bytes))
+                    checker, self.kernel.costs.hash_cycles(audit_bytes),
+                    phase=mph.HASHING)
                 self._emit(tev.INTEGRITY_CHECK, proc=checker,
                            segment=segment.index, check="clean_page_audit",
                            audited=len(audited), ok=not bad)
@@ -1280,6 +1326,7 @@ class Parallaft(Tracer):
         self._main_stalled_on_pressure = False
         main.state = ProcessState.RUNNING
         main.ready_time = max(main.ready_time, self.executor.current_time)
+        self.profiler.close_span(main.pid)
         self._emit(tev.MAIN_WAKE, proc=main,
                    segment=self.current.index if self.current else None,
                    reason=reason)
@@ -1308,6 +1355,26 @@ class Parallaft(Tracer):
         stats.peak_resident_bytes = float(self.kernel.pool.peak_resident_bytes)
         stats.oom_kills = self.kernel.stats.get("oom_kills", 0)
         stats.oom_killed = bool(getattr(main, "oom_killed", False))
+        self._finalize_metrics()
+
+    def _finalize_metrics(self) -> None:
+        """Snapshot the phase profiler, mirror kernel counters into the
+        registry, and emit the ``phase_totals`` conservation event."""
+        for key, value in self.kernel.stats.items():
+            self.metrics.counter(f"kernel.{key}").set(float(value))
+        profile = self.profiler.finish()
+        self.stats.phase_profile = profile
+        self.stats.metrics = self.metrics
+        if not self.profiler.enabled:
+            return
+        for phase, cyc in profile.cycles.items():
+            self.metrics.counter("phase.cycles", phase=phase).set(cyc)
+        for phase, sec in profile.stall_seconds.items():
+            self.metrics.gauge("phase.stall_seconds", phase=phase).set(sec)
+        if self.trace.enabled:
+            self.trace.emit(tev.PHASE_TOTALS,
+                            total=self.executor.charged_cycles,
+                            phases=dict(profile.cycles))
 
     # ------------------------------------------------------------- memory sampling
 
@@ -1332,6 +1399,48 @@ class Parallaft(Tracer):
                 for pte in proc.mem.pages.values():
                     frames[id(pte.frame)] = proc.mem.page_size
             self.stats.pss_samples.append(float(sum(frames.values())))
+
+        self.executor.add_sampler(interval, sample)
+
+    def enable_metrics_sampling(self, interval: float = 0.5,
+                                callback=None) -> None:
+        """Snapshot live-run gauges (live/queued checkers, frame-pool
+        occupancy, retained checkpoints, dirty-page rate, pacer
+        frequency) into the registry's time series every ``interval``
+        virtual seconds.  ``callback(when, registry)`` — if given — runs
+        after each sample; the TTY dashboard hooks in here."""
+        registry = self.metrics
+        pool = self.kernel.pool
+        page = self.platform.page_size
+        state = {"pages": 0, "when": 0.0}
+
+        def sample(when: float) -> None:
+            registry.gauge("parallaft.live_checkers").set(
+                len(self.sched.running))
+            registry.gauge("parallaft.queued_checkers").set(
+                len(self.sched.pending))
+            registry.gauge("parallaft.live_segments").set(
+                self._live_segments())
+            registry.gauge("parallaft.retained_checkpoints").set(sum(
+                1 for s in self.segments
+                if s.recovery_checkpoint is not None and not s.retired
+                and not s.checkpoint_evicted))
+            registry.gauge("pool.resident_bytes").set(pool.resident_bytes)
+            if pool.budget_bytes:
+                registry.gauge("pool.utilization").set(
+                    pool.resident_bytes / pool.budget_bytes)
+            pages = pool.frames_allocated + pool.frames_copied
+            dt = when - state["when"]
+            if dt > 0:
+                registry.gauge("parallaft.dirty_page_bytes_per_s").set(
+                    (pages - state["pages"]) * page / dt)
+            state["pages"], state["when"] = pages, when
+            if self.executor.little_cores:
+                registry.gauge("sched.little_freq_hz").set(
+                    self.executor.little_cores[0].freq_hz)
+            registry.sample(when)
+            if callback is not None:
+                callback(when, registry)
 
         self.executor.add_sampler(interval, sample)
 

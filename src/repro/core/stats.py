@@ -2,12 +2,22 @@
 ``timing.all_wall_time``, ``timing.main_wall_time``,
 ``timing.main_user_time``/``main_sys_time``, ``counter.checkpoint_count``,
 ``fixed_interval_slicer.nr_slices``, plus energy and error reporting.
+
+``RunStats`` is a thin view over the metric registry: the exported key
+of every scalar is defined exactly once, in :data:`STAT_SCHEMA`, and
+both ``to_dict`` and the registry mirror are derived from it.  Binding a
+:class:`~repro.metrics.MetricRegistry` (``bind_registry``) makes every
+subsequent field write also land in the registry under its dotted key,
+so exporters see the same numbers the dict dump reports — without
+hand-maintaining two field enumerations that can drift apart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.metrics import MetricRegistry
 
 
 @dataclass
@@ -22,6 +32,64 @@ class DetectedError:
 
     def __repr__(self) -> str:
         return f"DetectedError({self.kind}, segment={self.segment_index})"
+
+
+class StatField(NamedTuple):
+    """One exported scalar: dataclass attribute -> artifact dict key."""
+
+    attr: str
+    key: str
+    #: 'counter' mirrors into a registry counter; 'gauge' into a gauge;
+    #: 'derived' is computed (a property) and never mirrored.
+    kind: str = "gauge"
+
+
+#: The single definition of every scalar ``to_dict`` exports, in the
+#: artifact's key order.  ``errors`` and ``exit_code`` are appended by
+#: ``to_dict`` itself (they are not scalars).
+STAT_SCHEMA: Tuple[StatField, ...] = (
+    StatField("all_wall_time", "timing.all_wall_time"),
+    StatField("main_wall_time", "timing.main_wall_time"),
+    StatField("main_user_time", "timing.main_user_time"),
+    StatField("main_sys_time", "timing.main_sys_time"),
+    StatField("checker_user_time", "timing.checker_user_time"),
+    StatField("checker_sys_time", "timing.checker_sys_time"),
+    StatField("checkpoint_count", "counter.checkpoint_count", "counter"),
+    StatField("nr_slices", "fixed_interval_slicer.nr_slices", "counter"),
+    StatField("syscalls_recorded", "counter.syscalls_recorded", "counter"),
+    StatField("syscalls_replayed", "counter.syscalls_replayed", "counter"),
+    StatField("signals_recorded", "counter.signals_recorded", "counter"),
+    StatField("nondet_recorded", "counter.nondet_recorded", "counter"),
+    StatField("bytes_recorded", "counter.bytes_recorded", "counter"),
+    StatField("segments_checked", "counter.segments_checked", "counter"),
+    StatField("checker_retries", "counter.checker_retries", "counter"),
+    StatField("checker_migrations", "counter.checker_migrations", "counter"),
+    StatField("checkers_finished_on_big",
+              "counter.checkers_finished_on_big", "counter"),
+    StatField("mmap_splits", "counter.mmap_splits", "counter"),
+    StatField("recovery_rollbacks", "counter.recovery.rollbacks", "counter"),
+    StatField("recovery_retries", "counter.recovery.retries", "counter"),
+    StatField("recovery_wasted_cycles",
+              "counter.recovery.wasted_cycles", "counter"),
+    StatField("integrity_checks", "counter.integrity.checks", "counter"),
+    StatField("integrity_failures", "counter.integrity.failures", "counter"),
+    StatField("pressure_stalls", "counter.pressure.stalls", "counter"),
+    StatField("pressure_sheds", "counter.pressure.sheds", "counter"),
+    StatField("pressure_evictions", "counter.pressure.evictions", "counter"),
+    StatField("pressure_adaptations",
+              "counter.pressure.adaptations", "counter"),
+    StatField("checker_ooms", "counter.pressure.checker_ooms", "counter"),
+    StatField("oom_kills", "counter.oom_kills", "counter"),
+    StatField("oom_killed", "oom_killed"),
+    StatField("peak_resident_bytes", "memory.peak_resident_bytes"),
+    StatField("checker_cycles_big", "work.checker_cycles_big"),
+    StatField("checker_cycles_little", "work.checker_cycles_little"),
+    StatField("big_core_work_fraction",
+              "work.big_core_work_fraction", "derived"),
+    StatField("energy_joules", "hwmon.total_energy"),
+)
+
+_MIRRORED = {f.attr: f for f in STAT_SCHEMA if f.kind != "derived"}
 
 
 @dataclass
@@ -87,6 +155,30 @@ class RunStats:
     stdout: str = ""
     stderr: str = ""
 
+    # -- registry mirror ---------------------------------------------------
+
+    def bind_registry(self, registry: MetricRegistry) -> None:
+        """Mirror every schema field into ``registry`` — current values
+        now, every assignment from here on.  ``to_dict`` keeps reading
+        the dataclass fields directly, so binding can never change its
+        output."""
+        self.__dict__["_registry"] = registry
+        for f in STAT_SCHEMA:
+            if f.kind != "derived":
+                self._mirror(f, getattr(self, f.attr))
+
+    def _mirror(self, f: StatField, value) -> None:
+        registry = self.__dict__.get("_registry")
+        if registry is None:
+            return
+        registry.gauge(f.key).set(float(value))
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        f = _MIRRORED.get(name)
+        if f is not None:
+            self._mirror(f, value)
+
     @property
     def error_detected(self) -> bool:
         return bool(self.errors)
@@ -104,44 +196,10 @@ class RunStats:
         Every public counter appears here — harness reports and campaign
         artifacts serialize this dict, so a field missing from it is
         silently invisible downstream (tests/test_core_units.py round-trips
-        the full set).
+        the full set).  Keys and order come from :data:`STAT_SCHEMA`.
         """
-        return {
-            "timing.all_wall_time": self.all_wall_time,
-            "timing.main_wall_time": self.main_wall_time,
-            "timing.main_user_time": self.main_user_time,
-            "timing.main_sys_time": self.main_sys_time,
-            "timing.checker_user_time": self.checker_user_time,
-            "timing.checker_sys_time": self.checker_sys_time,
-            "counter.checkpoint_count": self.checkpoint_count,
-            "fixed_interval_slicer.nr_slices": self.nr_slices,
-            "counter.syscalls_recorded": self.syscalls_recorded,
-            "counter.syscalls_replayed": self.syscalls_replayed,
-            "counter.signals_recorded": self.signals_recorded,
-            "counter.nondet_recorded": self.nondet_recorded,
-            "counter.bytes_recorded": self.bytes_recorded,
-            "counter.segments_checked": self.segments_checked,
-            "counter.checker_retries": self.checker_retries,
-            "counter.checker_migrations": self.checker_migrations,
-            "counter.checkers_finished_on_big": self.checkers_finished_on_big,
-            "counter.mmap_splits": self.mmap_splits,
-            "counter.recovery.rollbacks": self.recovery_rollbacks,
-            "counter.recovery.retries": self.recovery_retries,
-            "counter.recovery.wasted_cycles": self.recovery_wasted_cycles,
-            "counter.integrity.checks": self.integrity_checks,
-            "counter.integrity.failures": self.integrity_failures,
-            "counter.pressure.stalls": self.pressure_stalls,
-            "counter.pressure.sheds": self.pressure_sheds,
-            "counter.pressure.evictions": self.pressure_evictions,
-            "counter.pressure.adaptations": self.pressure_adaptations,
-            "counter.pressure.checker_ooms": self.checker_ooms,
-            "counter.oom_kills": self.oom_kills,
-            "oom_killed": self.oom_killed,
-            "memory.peak_resident_bytes": self.peak_resident_bytes,
-            "work.checker_cycles_big": self.checker_cycles_big,
-            "work.checker_cycles_little": self.checker_cycles_little,
-            "work.big_core_work_fraction": self.big_core_work_fraction,
-            "hwmon.total_energy": self.energy_joules,
-            "errors": [f"{e.kind}@{e.segment_index}" for e in self.errors],
-            "exit_code": self.exit_code,
-        }
+        out: Dict[str, object] = {
+            f.key: getattr(self, f.attr) for f in STAT_SCHEMA}
+        out["errors"] = [f"{e.kind}@{e.segment_index}" for e in self.errors]
+        out["exit_code"] = self.exit_code
+        return out

@@ -7,14 +7,33 @@ and the bench suite alike (no plotting dependencies).
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.common.units import BILLION, geomean, geomean_overhead_pct
 from repro.faults import CampaignResult, Outcome
 from repro.harness.figures import PeriodSweepPoint, SuiteComparison
 from repro.harness.overhead import OverheadBreakdown
+from repro.metrics import (
+    CHECKPOINT_FORK, COMPARISON, DIRTY_SCAN, HASHING, MAIN_EXEC,
+    RECOVERY_ROLLBACK, REPLAY, RUNTIME, CAP_STALL, CHECKER_STALL,
+    CONTAINMENT_STALL, PRESSURE_STALL, PhaseProfile,
+)
 from repro.trace import TraceBuffer
 from repro.trace import events as tev
+
+#: Cell rendered for a phase the run's mode never executes (e.g. replay
+#: columns in a RAFT run) — distinct from a measured-but-tiny ``0.0``.
+NA = "—"
+
+_NUMERIC_RE = re.compile(r"^[+-]?\d[\d_.,]*(?:[eE][+-]?\d+)?[%xX]?$")
+
+
+def _numeric_ish(cell: str) -> bool:
+    """True for cells that belong in a right-aligned numeric column:
+    numbers (optionally signed / percent / ratio-suffixed) and the
+    placeholders an absent measurement renders as."""
+    return cell in ("", "-", NA) or _NUMERIC_RE.match(cell) is not None
 
 
 def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
@@ -23,8 +42,16 @@ def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
     for row in rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+    # A column is right-aligned when every body cell is numeric or an
+    # absent-measurement placeholder — so columns of words ("unbounded",
+    # "OOM", benchmark names) keep reading left-to-right.
+    right = [bool(rows)
+             and all(_numeric_ish(row[i]) for row in rows if i < len(row))
+             for i in range(len(headers))]
+
     def fmt(row):
-        return "  ".join(cell.ljust(widths[i])
+        return "  ".join(cell.rjust(widths[i]) if right[i]
+                         else cell.ljust(widths[i])
                          for i, cell in enumerate(row)).rstrip()
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)
@@ -60,6 +87,70 @@ def render_breakdown(breakdowns: Dict[str, OverheadBreakdown]) -> str:
             for name, bd in sorted(breakdowns.items())]
     return _table(("benchmark", "total%", "fork+cow", "contention",
                    "last-sync", "runtime"), rows)
+
+
+#: Column label → profiler phase, in paper figure order.  Together the
+#: phase columns cover every overhead component the profiler can charge
+#: (``PhaseProfile.overhead_components``), so the ``total%`` column is by
+#: construction the exact sum of the per-phase columns.
+_PHASE_COLUMNS = (
+    ("fork+cow", CHECKPOINT_FORK),
+    ("dirty-scan", DIRTY_SCAN),
+    ("hashing", HASHING),
+    ("compare", COMPARISON),
+    ("replay", REPLAY),
+    ("runtime", RUNTIME),
+    ("rollback", RECOVERY_ROLLBACK),
+)
+
+_STALL_COLUMNS = (
+    ("contain(s)", CONTAINMENT_STALL),
+    ("pressure(s)", PRESSURE_STALL),
+    ("cap(s)", CAP_STALL),
+    ("checker(s)", CHECKER_STALL),
+)
+
+
+def render_phase_breakdown(profiles: Dict[str, PhaseProfile]) -> str:
+    """Figure 6-style table from the phase-attribution profiler.
+
+    Unlike :func:`render_breakdown` (which reconstructs components from
+    wall-clock deltas between ablation runs), this table is built from the
+    profiler's cycle ledger: every simulated cycle was charged to exactly
+    one phase (trace invariant ``cycle_conservation``), so the phase
+    columns sum to ``total%`` exactly.  Cycle phases render as a percent
+    of main-execution cycles; stall columns are virtual seconds the main
+    spent blocked, by stall reason.  A phase the mode never executed
+    (e.g. ``replay`` under RAFT) renders as ``—`` rather than ``0.0``.
+    """
+    headers = ("benchmark", "total%",
+               *(label for label, _ in _PHASE_COLUMNS),
+               *(label for label, _ in _STALL_COLUMNS))
+    rows = []
+    for name, profile in sorted(profiles.items()):
+        app = profile.cycles.get(MAIN_EXEC, 0.0)
+        components = profile.overhead_components()
+
+        def pct(cycles: float) -> str:
+            if cycles == 0.0:
+                return NA
+            # No main-execution baseline (degenerate run): show raw cycles.
+            return (f"{100.0 * cycles / app:.1f}" if app > 0
+                    else f"{cycles:.3g}")
+
+        def stall(seconds: float) -> str:
+            return NA if seconds == 0.0 else f"{seconds:.3f}"
+
+        rows.append((
+            name,
+            pct(sum(components.values())),
+            *(pct(components.get(phase, 0.0))
+              for _, phase in _PHASE_COLUMNS),
+            *(stall(profile.stall_seconds.get(phase, 0.0))
+              for _, phase in _STALL_COLUMNS),
+        ))
+    return ("phase-attributed overhead (% of main-execution cycles; "
+            f"{NA} = phase never ran)\n" + _table(headers, rows))
 
 
 def render_memory(comparison: SuiteComparison) -> str:

@@ -19,6 +19,7 @@ from repro.common.units import geomean_overhead_pct
 from repro.core import Parallaft, ParallaftConfig, RuntimeMode
 from repro.core.stats import RunStats
 from repro.kernel import Kernel
+from repro.metrics import MetricRegistry, PhaseProfile
 from repro.sim import Executor, PlatformConfig, apple_m2
 from repro.workloads.registry import Benchmark
 
@@ -34,6 +35,10 @@ class InputResult:
     energy_joules: float
     stats: Optional[RunStats] = None
     pss_samples: List[float] = field(default_factory=list)
+    #: Metric registry of the run (protected modes only).
+    metrics: Optional[MetricRegistry] = None
+    #: Phase-attributed cycle ledger of the run (protected modes only).
+    phase_profile: Optional[PhaseProfile] = None
 
 
 @dataclass
@@ -74,6 +79,17 @@ class BenchmarkResult:
     def mean_pss(self) -> float:
         samples = self.pss_samples
         return sum(samples) / len(samples) if samples else 0.0
+
+    def phase_profile(self) -> Optional[PhaseProfile]:
+        """Phase ledgers of all inputs merged (SPEC-style summing, like
+        the wall-time properties above); ``None`` for baseline runs."""
+        merged: Optional[PhaseProfile] = None
+        for r in self.inputs:
+            if r.phase_profile is None:
+                continue
+            merged = (r.phase_profile if merged is None
+                      else merged.merge(r.phase_profile))
+        return merged
 
 
 def run_baseline(bench: Benchmark, platform: Optional[PlatformConfig] = None,
@@ -117,12 +133,21 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
                   config: Optional[ParallaftConfig] = None,
                   scale: int = 1, seed_base: int = 0, quantum: int = 2000,
                   sample_memory: bool = False,
-                  trace_path: Optional[str] = None) -> BenchmarkResult:
+                  trace_path: Optional[str] = None,
+                  metrics_interval: Optional[float] = None,
+                  metrics_callback: Optional[Callable] = None,
+                  prom_path: Optional[str] = None,
+                  collapsed_path: Optional[str] = None) -> BenchmarkResult:
     """Run a benchmark under Parallaft or the RAFT model.
 
     ``trace_path`` exports each input's event trace as Chrome trace_event
     JSON (Perfetto-loadable); multi-input benchmarks get a ``.seedN``
-    suffix inserted before the extension.
+    suffix inserted before the extension.  ``metrics_interval`` turns on
+    the virtual-time gauge sampler; ``metrics_callback(when, registry)``
+    fires after every sample (this is how the ``--metrics`` live
+    dashboard hooks in).  ``prom_path`` / ``collapsed_path`` export the
+    end-of-run registry as Prometheus text and the phase profile as a
+    collapsed-stack (flamegraph) file, seed-suffixed like ``trace_path``.
     """
     platform = platform or apple_m2()
     result = BenchmarkResult(bench.name, mode)
@@ -143,10 +168,25 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
                             quantum=quantum)
         if sample_memory:
             runtime.enable_memory_sampling(0.5)
+        if metrics_interval is not None or metrics_callback is not None:
+            runtime.enable_metrics_sampling(
+                metrics_interval if metrics_interval is not None else 0.5,
+                callback=metrics_callback)
         stats = runtime.run()
         if trace_path is not None:
             runtime.trace.write_chrome_trace(
                 _trace_path_for_seed(trace_path, seed, len(seeds)))
+        profile = getattr(stats, "phase_profile", None)
+        if prom_path is not None or collapsed_path is not None:
+            from repro.metrics import collapsed_stacks, prometheus_text
+            if prom_path is not None:
+                with open(_trace_path_for_seed(prom_path, seed,
+                                               len(seeds)), "w") as f:
+                    f.write(prometheus_text(runtime.metrics))
+            if collapsed_path is not None and profile is not None:
+                with open(_trace_path_for_seed(collapsed_path, seed,
+                                               len(seeds)), "w") as f:
+                    f.write(collapsed_stacks(profile))
         if stats.error_detected:
             raise RuntimeError(
                 f"{bench.name} seed {seed} false positive: {stats.errors}")
@@ -161,6 +201,8 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
             energy_joules=stats.energy_joules,
             stats=stats,
             pss_samples=list(stats.pss_samples),
+            metrics=getattr(stats, "metrics", None),
+            phase_profile=profile,
         ))
     return result
 
@@ -221,10 +263,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed-base", type=int, default=0)
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome trace JSON per input")
+    parser.add_argument("--metrics", action="store_true",
+                        help="live gauge dashboard during the run plus a "
+                             "phase-attributed overhead table at the end")
+    parser.add_argument("--metrics-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="virtual-time gauge sampling period "
+                             "(default 0.5)")
+    parser.add_argument("--prom", default=None, metavar="PATH",
+                        help="write the end-of-run metric registry as "
+                             "Prometheus text, per input")
+    parser.add_argument("--collapsed", default=None, metavar="PATH",
+                        help="write the phase profile as a collapsed-stack "
+                             "(flamegraph) file, per input")
     args = parser.parse_args(argv)
 
-    from repro.harness.report import render_run_stats
+    from repro.harness.report import render_phase_breakdown, render_run_stats
+    from repro.metrics import Dashboard
 
+    profiles = {}
     for name in args.bench.split(","):
         bench = benchmark(name.strip())
         if args.mode == "baseline":
@@ -238,12 +295,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 config = ParallaftConfig(mem_budget_bytes=args.budget)
                 if args.mode == "raft":
                     config.mode = RuntimeMode.RAFT
-            result = run_protected(bench, mode=args.mode,
-                                   config=config, scale=args.scale,
-                                   seed_base=args.seed_base,
-                                   quantum=args.quantum,
-                                   sample_memory=args.mem_sample,
-                                   trace_path=args.trace)
+            dashboard = Dashboard() if args.metrics else None
+            want_sampling = args.metrics or args.prom is not None
+            result = run_protected(
+                bench, mode=args.mode,
+                config=config, scale=args.scale,
+                seed_base=args.seed_base,
+                quantum=args.quantum,
+                sample_memory=args.mem_sample,
+                trace_path=args.trace,
+                metrics_interval=(args.metrics_interval if want_sampling
+                                  else None),
+                metrics_callback=(dashboard.update if dashboard else None),
+                prom_path=args.prom,
+                collapsed_path=args.collapsed)
+            profile = result.phase_profile()
+            if profile is not None:
+                profiles[bench.name] = profile
         print(f"== {bench.name} ({result.mode}) ==")
         print(f"wall_time      {result.wall_time:.1f}")
         print(f"energy_joules  {result.energy_joules:.3f}")
@@ -252,6 +320,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for run in result.inputs:
             if run.stats is not None:
                 print(render_run_stats(run.stats))
+    if args.metrics and profiles:
+        print()
+        print(render_phase_breakdown(profiles))
     return 0
 
 

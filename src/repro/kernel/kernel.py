@@ -33,6 +33,7 @@ from repro.mem.address_space import (
     PageFault,
 )
 from repro.mem.frames import FramePool, budget_from_env
+from repro.metrics import NULL_PROFILER
 from repro.trace import NULL_TRACE
 from repro.trace import events as tev
 
@@ -76,6 +77,9 @@ class Kernel:
         self.time_fn: Callable[[], float] = lambda: 0.0
         #: Event sink; the Parallaft runtime installs its own buffer.
         self.trace = NULL_TRACE
+        #: Phase-attribution profiler; the runtime installs a live one.
+        #: The kernel only needs it to close stall spans on exit paths.
+        self.profiler = NULL_PROFILER
         #: Per-run statistics.
         self.stats: Dict[str, int] = {
             "forks": 0, "syscalls": 0, "signals_delivered": 0,
@@ -148,6 +152,10 @@ class Kernel:
         proc.state = ProcessState.ZOMBIE
         proc.exit_code = code
         proc.exit_time = self.now()
+        # Every kill path (OOM, rollback teardown, checker shed, fatal
+        # signal) funnels through here, so a dying process can never
+        # leave a stall span open in the profiler.
+        self.profiler.close_span(proc.pid)
         if self.trace.enabled:
             self.trace.emit(tev.PROCESS_EXIT, pid=proc.pid, code=code)
         if proc.tracer is not None:

@@ -1,0 +1,32 @@
+"""Metrics registry, phase-attribution profiler and exporters.
+
+Pure-data observability layer (no simulator imports): a typed metric
+registry keyed by dotted names with label sets, a profiler that charges
+every simulated cycle to a runtime phase (producing a per-segment
+Fig. 6-style overhead breakdown), a virtual-time gauge sampler, and
+Prometheus / JSON / collapsed-stack exporters with exact round-trips.
+"""
+
+from .dashboard import Dashboard
+from .export import (collapsed_stacks, json_snapshot, parse_collapsed,
+                     parse_prometheus_text, prometheus_text)
+from .phases import (ALL_PHASES, CAP_STALL, CHECKER_STALL, CHECKPOINT_FORK,
+                     COMPARISON, CONTAINMENT_STALL, CYCLE_PHASES, DIRTY_SCAN,
+                     HASHING, MAIN_EXEC, NULL_PROFILER,
+                     PARALLAFT_ONLY_PHASES, PRESSURE_STALL,
+                     RECOVERY_ROLLBACK, REPLAY, RUNTIME, STALL_PHASES,
+                     PhaseProfile, PhaseProfiler)
+from .registry import (Counter, Gauge, Histogram, MetricKindError,
+                       MetricRegistry)
+
+__all__ = [
+    "MetricRegistry", "Counter", "Gauge", "Histogram", "MetricKindError",
+    "PhaseProfiler", "PhaseProfile", "NULL_PROFILER",
+    "CYCLE_PHASES", "STALL_PHASES", "ALL_PHASES", "PARALLAFT_ONLY_PHASES",
+    "MAIN_EXEC", "CHECKPOINT_FORK", "DIRTY_SCAN", "HASHING", "COMPARISON",
+    "REPLAY", "RUNTIME", "RECOVERY_ROLLBACK",
+    "CONTAINMENT_STALL", "PRESSURE_STALL", "CAP_STALL", "CHECKER_STALL",
+    "prometheus_text", "parse_prometheus_text",
+    "collapsed_stacks", "parse_collapsed", "json_snapshot",
+    "Dashboard",
+]

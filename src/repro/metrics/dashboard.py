@@ -1,0 +1,47 @@
+"""Live TTY dashboard: one status line per virtual-time sample.
+
+Driven by the runtime's metrics sampler (``Parallaft.
+enable_metrics_sampling(callback=dashboard.update)``): each period the
+dashboard reads the gauges it cares about straight from the registry
+and prints a fixed-width line, so a degrading run (pressure ladder,
+recovery storm) can be watched as it evolves.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from .registry import MetricRegistry
+
+__all__ = ["Dashboard"]
+
+_HEADER = (f"{'t(virt)':>9}  {'checkers':>8}  {'queued':>6}  "
+           f"{'segs':>4}  {'pool MiB':>9}  {'pool%':>5}  "
+           f"{'dirty MiB/s':>11}  {'checked':>7}")
+
+
+class Dashboard:
+    """Renders registry gauges as a live status line per sample."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.lines_written = 0
+
+    def update(self, when: float, registry: MetricRegistry) -> None:
+        if self.lines_written == 0:
+            print(_HEADER, file=self.stream)
+            print("-" * len(_HEADER), file=self.stream)
+        pool_bytes = registry.value("pool.resident_bytes")
+        line = (
+            f"{when:>9.3f}  "
+            f"{int(registry.value('parallaft.live_checkers')):>8}  "
+            f"{int(registry.value('parallaft.queued_checkers')):>6}  "
+            f"{int(registry.value('parallaft.live_segments')):>4}  "
+            f"{pool_bytes / (1 << 20):>9.1f}  "
+            f"{registry.value('pool.utilization') * 100:>4.0f}%  "
+            f"{registry.value('parallaft.dirty_page_bytes_per_s') / (1 << 20):>11.1f}  "
+            f"{int(registry.value('counter.segments_checked')):>7}"
+        )
+        print(line, file=self.stream)
+        self.lines_written += 1

@@ -1,0 +1,163 @@
+"""Exporters: Prometheus text exposition, JSON snapshot, collapsed
+stacks (flamegraph-compatible) — plus parsers for each text format so
+round-trips can be asserted exactly.
+
+Values are rendered with :func:`repr` on the Python float, which is the
+shortest string that parses back to the identical double — the
+round-trip guarantees in the acceptance criteria hold bit-for-bit, not
+approximately.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from .phases import CYCLE_PHASES, PhaseProfile
+from .registry import Counter, Gauge, Histogram, MetricRegistry
+
+__all__ = [
+    "prometheus_text", "parse_prometheus_text",
+    "collapsed_stacks", "parse_collapsed",
+    "json_snapshot",
+]
+
+
+def _prom_name(name: str) -> str:
+    """Dotted metric name -> Prometheus-legal name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types = set()
+    for metric in registry:
+        pname = _prom_name(metric.name)
+        if pname not in seen_types:
+            seen_types.add(pname)
+            lines.append(f"# TYPE {pname} {metric.kind}")
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f"{pname}_bucket"
+                    f"{_prom_labels(metric.labels, (('le', _fmt(bound)),))}"
+                    f" {cumulative}")
+            cumulative += metric.bucket_counts[-1]
+            lines.append(
+                f"{pname}_bucket"
+                f"{_prom_labels(metric.labels, (('le', '+Inf'),))}"
+                f" {cumulative}")
+            lines.append(f"{pname}_sum{_prom_labels(metric.labels)}"
+                         f" {_fmt(metric.sum)}")
+            lines.append(f"{pname}_count{_prom_labels(metric.labels)}"
+                         f" {metric.count}")
+        else:
+            lines.append(f"{pname}{_prom_labels(metric.labels)}"
+                         f" {_fmt(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse a Prometheus exposition back to ``{series: value}``.
+
+    The key is the full series string (name plus label block), so two
+    series differing only in labels stay distinct.  Histogram ``+Inf``
+    buckets and ``_count`` lines parse as floats like everything else.
+    """
+    values: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, raw = line.rpartition(" ")
+        values[series] = float("inf") if raw == "+Inf" else float(raw)
+    return values
+
+
+def collapsed_stacks(profile: PhaseProfile) -> str:
+    """Render the phase profile as collapsed stacks (``folded`` format
+    consumed by flamegraph.pl / speedscope).
+
+    Per-segment cycles appear as ``root;seg<k>;<phase>``; cycles charged
+    with no segment context are emitted as ``root;<phase>`` remainder
+    lines so the flamegraph total equals ``profile.total_cycles`` (up to
+    the same 1e-9 relative float-accumulation tolerance invariant (j)
+    allows — the per-segment ledger and the global phase totals sum the
+    identical charges in different orders).
+    """
+    lines: List[str] = []
+    attributed: Dict[str, float] = {}
+    for seg in sorted(profile.segment_cycles):
+        for phase in CYCLE_PHASES:
+            cyc = profile.segment_cycles[seg].get(phase, 0.0)
+            if cyc == 0.0:
+                continue
+            lines.append(f"root;seg{seg};{phase} {_fmt(cyc)}")
+            attributed[phase] = attributed.get(phase, 0.0) + cyc
+    for phase in CYCLE_PHASES:
+        total = profile.cycles.get(phase, 0.0)
+        remainder = total - attributed.get(phase, 0.0)
+        # Accumulation-order drift can leave a remainder of a few ulps
+        # where none exists; a negative count would be rejected by
+        # flamegraph consumers, so drop anything within float tolerance.
+        if abs(remainder) <= 1e-9 * max(abs(total), 1.0):
+            continue
+        lines.append(f"root;{phase} {_fmt(remainder)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_collapsed(text: str) -> Dict[str, float]:
+    """Parse collapsed stacks back to ``{stack: value}``."""
+    values: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, raw = line.rpartition(" ")
+        values[stack] = values.get(stack, 0.0) + float(raw)
+    return values
+
+
+def json_snapshot(registry: MetricRegistry,
+                  profile: PhaseProfile = None) -> str:
+    """Serialise the registry (and optionally a phase profile) to JSON,
+    including every gauge's sampled time series."""
+    doc: Dict[str, object] = {"counters": {}, "gauges": {},
+                              "histograms": {}, "series": {}}
+    for metric in registry:
+        key = metric.name
+        if metric.labels:
+            key += "{" + ",".join(f"{k}={v}"
+                                  for k, v in metric.labels) + "}"
+        if isinstance(metric, Counter):
+            doc["counters"][key] = metric.value
+        elif isinstance(metric, Gauge):
+            doc["gauges"][key] = metric.value
+            if metric.series:
+                doc["series"][key] = [list(p) for p in metric.series]
+        elif isinstance(metric, Histogram):
+            doc["histograms"][key] = {
+                "bounds": list(metric.bounds),
+                "bucket_counts": list(metric.bucket_counts),
+                "sum": metric.sum,
+                "count": metric.count,
+            }
+    if profile is not None:
+        doc["phase_profile"] = profile.to_dict()
+    return json.dumps(doc, indent=2, sort_keys=True)

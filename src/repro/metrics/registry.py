@@ -1,0 +1,212 @@
+"""Typed metric registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the single definition point for every quantity the
+runtime measures.  Metrics are keyed by a dotted name (``counter.
+checkpoint_count``, ``pool.resident_bytes``) plus an optional label set
+(``benchmark=bzip2, core=little``); the same name must always be used
+with the same metric kind — mixing kinds is a programming error and
+raises immediately.
+
+Like :mod:`repro.trace`, this package is pure data: it must not import
+from :mod:`repro.sim`, :mod:`repro.kernel` or :mod:`repro.core`, so it
+can be reused by offline tooling (exporters, report rendering, tests)
+without dragging the simulator along.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricKindError",
+]
+
+#: A metric key: dotted name plus a sorted, hashable label set.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class MetricKindError(TypeError):
+    """The same metric name was requested with two different kinds."""
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing float counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Absolute update; used by mirrors that track an external field.
+        Must never move backwards."""
+        if value < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot decrease "
+                f"({self.value} -> {value})")
+        self.value = float(value)
+
+
+class Gauge:
+    """Point-in-time value, optionally sampled into a time series."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        #: ``(virtual_time, value)`` pairs appended by ``Registry.sample``.
+        self.series: List[Tuple[float, float]] = []
+        #: Optional pull hook: when set, ``sample()`` refreshes the value
+        #: from it instead of relying on pushes.
+        self.fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile summaries.
+
+    ``bounds`` are ascending upper bucket edges; an implicit +inf bucket
+    catches overflow.  ``quantile(q)`` answers with the smallest bucket
+    upper bound whose cumulative count reaches ``q * count`` — exact at
+    bucket boundaries, which is all a fixed-bucket histogram can honestly
+    promise.  Observations landing past the last bound are reported via
+    the maximum observed value, so ``quantile(1.0)`` never invents +inf.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = (),
+                 bounds: Sequence[float] = ()):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name}: bounds must be ascending")
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        #: Per-bucket counts; index len(bounds) is the +inf bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max_observed = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value > self.max_observed:
+            self.max_observed = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += self.bucket_counts[i]
+            if cumulative >= target:
+                return bound
+        return self.max_observed
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricRegistry:
+    """All metrics of one run, keyed by ``(dotted name, label set)``."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, object] = {}
+
+    # -- accessors ---------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Dict[str, object], **kw):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kw)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise MetricKindError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested as {cls.kind}")
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, bounds: Sequence[float] = (),
+                  **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, Histogram):
+                raise MetricKindError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"requested as histogram")
+            return metric
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        """Current value of a counter/gauge, or ``default`` if absent."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            return default
+        return metric.value
+
+    # -- iteration / sampling ---------------------------------------------
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(),
+                           key=lambda m: (m.name, m.labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self, kind: Optional[str] = None) -> Iterable[object]:
+        for metric in self:
+            if kind is None or metric.kind == kind:
+                yield metric
+
+    def sample(self, when: float) -> None:
+        """Snapshot every gauge into its time series at virtual time
+        ``when`` (pull hooks are refreshed first)."""
+        for metric in self._metrics.values():
+            if isinstance(metric, Gauge):
+                if metric.fn is not None:
+                    metric.value = float(metric.fn())
+                metric.series.append((when, metric.value))

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.segment import Segment, SegmentStatus
 from repro.kernel.process import Process, ProcessState
+from repro.metrics import phases as mph
 from repro.trace import events as tev
 
 if TYPE_CHECKING:
@@ -191,7 +192,8 @@ class RecoveryManager:
         # Restoring costs what materializing the checkpoint's COW fork
         # costs (rr-style restore is an unpause plus page-table work).
         rt.executor.charge(
-            new_main, kernel.costs.fork_cycles(new_main.mem.mapped_pages))
+            new_main, kernel.costs.fork_cycles(new_main.mem.mapped_pages),
+            phase=mph.RECOVERY_ROLLBACK)
 
         # Reset coordinator state that referred to the discarded timeline.
         rt.current = None

@@ -22,6 +22,7 @@ from repro.cpu import interpreter
 from repro.cpu.exceptions import FaultKind, StopReason
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, ProcessState
+from repro.metrics import NULL_PROFILER
 from repro.sim.cores import Core, make_cores
 from repro.sim.platform import PlatformConfig
 from repro.trace import NULL_TRACE
@@ -74,6 +75,12 @@ class Executor:
         self._shutdown = False
         #: Event sink; the Parallaft runtime installs its own buffer.
         self.trace = NULL_TRACE
+        #: Phase-attribution profiler; the runtime installs a live one.
+        self.profiler = NULL_PROFILER
+        #: Every hardware cycle ever charged through this executor,
+        #: accumulated independently of the profiler's per-phase ledger
+        #: so the cycle-conservation invariant compares two bookkeepers.
+        self.charged_cycles = 0.0
 
     # -- core management ----------------------------------------------------
 
@@ -128,7 +135,7 @@ class Executor:
     # -- charging -------------------------------------------------------------
 
     def charge(self, proc: Process, hw_cycles: float,
-               kind: str = "sys") -> float:
+               kind: str = "sys", phase: Optional[str] = None) -> float:
         """Charge kernel/runtime work to a process's core; returns seconds.
 
         Used by the kernel (via the step loop) and by the Parallaft
@@ -136,7 +143,9 @@ class Executor:
         clearing, perf setup, hashing...).  The process must be placed on a
         core — cycles only turn into time and energy somewhere; use
         :meth:`charge_deferred` for work done on behalf of a process that
-        may still be queued.
+        may still be queued.  ``phase`` names the profiler phase the
+        cycles belong to; None lets the profiler resolve it from the
+        process's runtime role.
         """
         core = proc.core
         if core is None:
@@ -151,27 +160,30 @@ class Executor:
         core.local_time = max(core.local_time, proc.ready_time) + seconds
         self._account_core_energy(core, seconds)
         proc.ready_time = core.local_time
+        self.charged_cycles += hw_cycles
+        self.profiler.charge_for(proc, hw_cycles, phase)
         return seconds
 
     def charge_deferred(self, proc: Process, hw_cycles: float,
-                        kind: str = "sys") -> None:
+                        kind: str = "sys",
+                        phase: Optional[str] = None) -> None:
         """Charge work to a process that may not be placed yet.
 
         If the process is on a core, this is an immediate :meth:`charge`;
-        otherwise the cycles are parked on the process and charged (at the
-        real core's frequency, with energy accounting) the moment
-        :meth:`assign` places it.
+        otherwise the cycles (with their phase annotation) are parked on
+        the process and charged (at the real core's frequency, with
+        energy accounting) the moment :meth:`assign` places it.
         """
         if proc.core is not None:
-            self.charge(proc, hw_cycles, kind)
+            self.charge(proc, hw_cycles, kind, phase=phase)
         else:
-            proc.pending_charges.append((hw_cycles, kind))
+            proc.pending_charges.append((hw_cycles, kind, phase))
 
     def _flush_pending_charges(self, proc: Process) -> None:
         if proc.pending_charges:
             pending, proc.pending_charges = proc.pending_charges, []
-            for hw_cycles, kind in pending:
-                self.charge(proc, hw_cycles, kind)
+            for hw_cycles, kind, phase in pending:
+                self.charge(proc, hw_cycles, kind, phase=phase)
 
     def _account_core_energy(self, core: Core, seconds: float) -> None:
         power = (self.platform.core_static_power_w(core.cluster)
@@ -264,6 +276,8 @@ class Executor:
                 hw_cycles = virtual_cycles * self.platform.cycle_scale
                 user_seconds = hw_cycles / core.freq_hz
                 proc.user_cycles += hw_cycles
+                self.charged_cycles += hw_cycles
+                self.profiler.charge_for(proc, hw_cycles)
                 if core.is_big:
                     proc.cycles_big += hw_cycles
                 else:
@@ -288,6 +302,9 @@ class Executor:
                     self.kernel.oom_kill(proc, exc.needed)
 
         sys_seconds = sys_cycles / core.freq_hz
+        if sys_cycles:
+            self.charged_cycles += sys_cycles
+            self.profiler.charge_for(proc, sys_cycles)
         total = user_seconds + sys_seconds
         proc.user_time += user_seconds
         proc.sys_time += sys_seconds

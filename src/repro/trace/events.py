@@ -88,6 +88,14 @@ Memory pressure (finite frame-pool budget; ``repro.core.pressure``):
 The stage numbers form the degradation-ladder invariant: a stage-N action
 never precedes the first stage-N−1 action of the run.  ``main_stall`` /
 ``main_wake`` gain ``reason="pressure"`` for the stage-1 backpressure.
+
+Metrics (``repro.metrics``):
+
+* ``phase_totals`` — emitted once at run finalisation with the phase
+  profiler's cycle ledger (payload ``total``: the executor's
+  independently-accumulated charged-cycle count, ``phases``: cycles per
+  phase).  The cycle-conservation invariant (j) asserts the two agree:
+  every simulated cycle is charged to exactly one phase.
 """
 
 from __future__ import annotations
@@ -141,6 +149,9 @@ APP_TERMINATE = "app_terminate"
 # Integrity hardening.
 INTEGRITY_CHECK = "integrity_check"
 INTEGRITY_FAIL = "integrity_fail"
+
+# Metrics: end-of-run phase-attribution totals (cycle conservation).
+PHASE_TOTALS = "phase_totals"
 
 # Memory pressure (degradation ladder stages 1-4, then exhaustion/OOM).
 PRESSURE_STALL = "pressure_stall"

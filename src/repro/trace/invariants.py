@@ -39,6 +39,13 @@ the paper's correctness argument depends on:
     event for the same segment) would promote freed state; recovery must
     refuse it with a typed error instead.  Checked unconditionally, like
     (f).
+(j) **cycle conservation** — every ``phase_totals`` event (emitted once
+    at run finalisation by the phase profiler) must balance: the sum of
+    its per-phase cycle ledger equals the executor's independently
+    accumulated total charged cycles, within a relative tolerance of
+    1e-9 for float summation-order drift.  A forgotten attribution site
+    in any charge path breaks the balance.  Checked unconditionally —
+    the event carries its own totals, so drops cannot fake a violation.
 
 Pairing-based invariants (b)–(d) and the order-sensitive pressure
 invariants (g)–(h) are skipped when the ring buffer dropped events, since
@@ -64,6 +71,7 @@ from .events import (
     MAIN_STALL,
     MAIN_WAKE,
     OOM,
+    PHASE_TOTALS,
     PRESSURE_EXHAUSTED,
     PRESSURE_STAGES,
     PROCESS_EXIT,
@@ -160,6 +168,20 @@ class InvariantChecker:
                     f"rollback to segment {event.segment} whose recovery "
                     f"checkpoint was evicted — freed state was promoted",
                     event)
+
+            # -- (j) cycle conservation ---------------------------------
+            if kind == PHASE_TOTALS:
+                total = float(event.payload.get("total", 0.0))
+                phases = event.payload.get("phases", {}) or {}
+                charged = sum(float(v) for v in phases.values())
+                tolerance = 1e-9 * max(abs(total), abs(charged), 1.0)
+                if abs(charged - total) > tolerance:
+                    self._violate(
+                        "cycle_conservation",
+                        f"phase ledger sums to {charged!r} cycles but the "
+                        f"executor charged {total!r} — "
+                        f"{charged - total:+.6g} cycles unattributed",
+                        event)
 
             # -- (f) integrity: no rollback after an integrity failure --
             if kind == INTEGRITY_FAIL:

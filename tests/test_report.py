@@ -6,13 +6,17 @@ from repro.faults import CampaignResult, InjectionResult, Outcome
 from repro.harness.figures import PeriodSweepPoint, SuiteComparison
 from repro.harness.overhead import OverheadBreakdown
 from repro.harness.report import (
+    NA,
+    _table,
     render_breakdown,
     render_injection,
     render_memory,
     render_overheads,
     render_period_sweep,
+    render_phase_breakdown,
 )
 from repro.harness.runner import BenchmarkResult, InputResult
+from repro.metrics import COMPARISON, MAIN_EXEC, REPLAY, PhaseProfile
 
 
 def fake_comparison():
@@ -73,3 +77,62 @@ class TestRenderers:
         text = render_overheads(fake_comparison(), "perf")
         lines = text.splitlines()[1:]
         assert len({line.index("  ") for line in lines if "  " in line}) >= 1
+
+    def test_numeric_columns_right_aligned(self):
+        text = _table(("name", "count"),
+                      [("a", "5"), ("longer-name", "12345")])
+        lines = text.splitlines()
+        # The numeric column is right-aligned: every line ends flush,
+        # so all lines are exactly the same length.
+        assert len({len(line) for line in lines}) == 1
+        assert lines[2].endswith("    5")
+        # Word columns stay left-aligned.
+        assert lines[2].startswith("a ")
+
+    def test_word_column_not_right_aligned(self):
+        text = _table(("budget",), [("unbounded",), ("1024",)])
+        assert text.splitlines()[3] == "1024"  # ljust, trailing rstrip
+
+    def test_placeholder_cells_right_align_with_numbers(self):
+        text = _table(("v",), [("1234",), (NA,), ("-",)])
+        lines = text.splitlines()
+        assert lines[2] == "1234"
+        assert lines[3] == "   " + NA
+        assert lines[4] == "   -"
+
+
+class TestPhaseBreakdown:
+    def profile(self, **cycles):
+        full = {MAIN_EXEC: 1000.0, REPLAY: 400.0}
+        full.update(cycles)
+        return PhaseProfile(cycles=full,
+                            total_cycles=sum(full.values()),
+                            stall_seconds={"containment_stall": 1.25})
+
+    def test_percentages_of_main_exec(self):
+        text = render_phase_breakdown({"mcf": self.profile(
+            comparison=250.0)})
+        row = text.splitlines()[-1]
+        assert "65.0" in row          # total%: (400+250)/1000
+        assert "40.0" in row          # replay
+        assert "25.0" in row          # compare
+        assert "1.250" in row         # containment stall seconds
+
+    def test_never_executed_phase_renders_em_dash(self):
+        """A RAFT run records exactly 0.0 for e.g. the comparison phase;
+        the table must show an absent measurement, not a tiny number."""
+        text = render_phase_breakdown({"raft-run": self.profile()})
+        header, _, row = text.splitlines()[1:4]
+        compare_at = header.index("compare")
+        assert NA in row
+        cell = row[compare_at:compare_at + len("compare")].strip()
+        assert cell in ("", NA)
+        # ...but a phase that did run still renders its number.
+        assert "40.0" in row
+
+    def test_components_sum_to_total_column(self):
+        profile = self.profile(comparison=250.0, checkpoint_fork=1.0)
+        components = profile.overhead_components()
+        assert sum(components.values()) == 651.0
+        text = render_phase_breakdown({"x": profile})
+        assert "65.1" in text.splitlines()[-1]
