@@ -1,0 +1,137 @@
+"""Campaign-engine scale test: a ≥1,000-injection sharded fleet that
+survives a worker SIGKILL and a supervisor crash, then resumes.
+
+The contract (the same one `tests/test_campaign_resume.py` checks at
+unit scale): no matter what dies mid-campaign, the merged
+`render_injection` report is byte-identical to an uninterrupted serial
+run of the same plan, and the journal replays with exactly one record
+per task.  Three legs:
+
+1. **serial** — `workers=0` over the sharded plan, the baseline;
+2. **fleet + worker kill** — 4 shards / 4 workers, journaled; a killer
+   thread SIGKILLs one live worker mid-campaign, the supervisor
+   charges the in-flight task, respawns the shard, and the fleet still
+   converges on the serial report;
+3. **resume** — the journal is truncated to its first half (a
+   simulated supervisor crash), and the resumed fleet skips the
+   journaled prefix yet renders the same bytes again.
+
+``REPRO_CAMPAIGN_TASKS`` scales the plan (default 1024 ≥ the 1,000 the
+CI job pins).
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+from conftest import print_rows
+
+from repro.core import ParallaftConfig
+from repro.core.journal import read_journal
+from repro.faults import FaultInjector
+from repro.harness.report import render_fleet, render_injection
+from repro.minic import compile_source
+from repro.sim import apple_m2
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fleet scale test needs fork workers")
+
+#: Small, fast workload — the scale is in the task count, not the run.
+WORKLOAD = """
+global data[32];
+func main() {
+    var i; var round; var total;
+    for (round = 0; round < 6; round = round + 1) {
+        for (i = 0; i < 32; i = i + 1) {
+            data[i] = data[i] * 3 + round + i;
+        }
+    }
+    total = 0;
+    for (i = 0; i < 32; i = i + 1) { total = total + data[i]; }
+    print_int(total);
+}
+"""
+
+#: Two segments at this period; tasks = 2 * injections_per_segment.
+PERIOD = 400_000_000
+TASKS = int(os.environ.get("REPRO_CAMPAIGN_TASKS", "1024"))
+SHARDS = 4
+
+
+def make_injector():
+    return FaultInjector(
+        compile_source(WORKLOAD),
+        config_factory=lambda: ParallaftConfig(slicing_period=PERIOD),
+        platform_factory=apple_m2, seed=11)
+
+
+def run_campaign(**kwargs):
+    return make_injector().run_campaign(
+        injections_per_segment=TASKS // 2, benchmark_name="scale",
+        shards=SHARDS, **kwargs)
+
+
+def kill_one_worker(killed):
+    deadline = time.time() + 30.0
+    while time.time() < deadline:
+        children = multiprocessing.active_children()
+        if children:
+            os.kill(children[0].pid, signal.SIGKILL)
+            killed.set()
+            return
+        time.sleep(0.01)
+
+
+class TestCampaignScale:
+    def test_fleet_survives_kill_and_resume(self, tmp_path):
+        journal = str(tmp_path / "scale.jsonl")
+
+        t0 = time.time()
+        serial = run_campaign()
+        serial_wall = time.time() - t0
+        plan = serial.total + serial.missed
+        assert plan >= 1000, f"campaign too small: {plan} tasks"
+
+        killed = threading.Event()
+        killer = threading.Thread(target=kill_one_worker, args=(killed,))
+        killer.start()
+        t0 = time.time()
+        fleet = run_campaign(workers=4, journal_path=journal)
+        fleet_wall = time.time() - t0
+        killer.join()
+        assert killed.is_set(), "no worker appeared to kill"
+        assert fleet.fleet.registry.value("campaign.worker_crashes") >= 1
+
+        serial_report = render_injection({"scale": serial})
+        assert render_injection({"scale": fleet}) == serial_report
+
+        # Supervisor crash: keep the header and the first half of the
+        # journal, then resume the fleet from it.
+        lines = open(journal).read().splitlines(True)
+        open(journal, "w").writelines(lines[:1 + plan // 2])
+        t0 = time.time()
+        resumed = run_campaign(workers=4, journal_path=journal,
+                               resume=True)
+        resume_wall = time.time() - t0
+        assert resumed.fleet.resumed_tasks == plan // 2
+        assert render_injection({"scale": resumed}) == serial_report
+
+        # The repaired journal replays whole: one record per task.
+        bodies = read_journal(journal)
+        task_ids = [b["task_id"] for b in bodies if b.get("type") == "task"]
+        assert len(task_ids) == plan
+        assert len(set(task_ids)) == plan
+
+        print_rows(
+            f"campaign scale: {plan} injection tasks, {SHARDS} shards",
+            [f"serial   {serial_wall:6.1f}s  (baseline report)",
+             f"fleet    {fleet_wall:6.1f}s  (1 worker SIGKILLed, "
+             f"{int(fleet.fleet.registry.value('campaign.retries'))} retries)",
+             f"resume   {resume_wall:6.1f}s  "
+             f"({resumed.fleet.resumed_tasks} tasks from journal)",
+             "reports byte-identical across all three runs"])
+        print(render_fleet(resumed.fleet))

@@ -1,0 +1,37 @@
+"""Sharded, crash-resilient campaign engine with durable journals.
+
+See :mod:`repro.campaign.engine` for the fleet supervisor and
+:mod:`repro.campaign.seeds` for the splittable per-task seed scheme.
+The three campaign drivers (:meth:`repro.faults.FaultInjector.
+run_campaign`, :meth:`repro.faults.InfraInjector.run_campaign`,
+:func:`repro.harness.pressure.run_pressure_campaign`) all route through
+:class:`CampaignEngine`.
+"""
+
+from repro.campaign.engine import (
+    DISP_COMPLETED,
+    DISP_FAILED,
+    DISP_QUARANTINED,
+    JOURNAL_VERSION,
+    CampaignEngine,
+    CampaignTask,
+    FleetResult,
+    ShardOutcome,
+    TaskRecord,
+)
+from repro.campaign.seeds import named_seed, split_seed, task_rng
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignTask",
+    "FleetResult",
+    "ShardOutcome",
+    "TaskRecord",
+    "DISP_COMPLETED",
+    "DISP_FAILED",
+    "DISP_QUARANTINED",
+    "JOURNAL_VERSION",
+    "named_seed",
+    "split_seed",
+    "task_rng",
+]

@@ -66,6 +66,29 @@ class RuntimeConfigError(ReproError):
     """Invalid Parallaft/RAFT runtime configuration."""
 
 
+class CampaignError(ReproError):
+    """Invalid campaign-engine usage or an unrunnable campaign spec."""
+
+
+class JournalIntegrityError(CampaignError):
+    """A durable journal failed its integrity check.
+
+    Raised when a record's stored XXH3 checksum does not match its
+    content, or its sequence number does not match its position (a
+    reordered / spliced / mid-file-corrupted journal).  A *truncated
+    tail* — the torn final line of a crashed writer — is explicitly not
+    an integrity failure: readers drop it and resume re-runs the lost
+    task.  ``kind`` mirrors the typed error-kind convention of the
+    runtime's ``log_integrity`` errors.
+    """
+
+    kind = "journal_integrity"
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
 class MismatchError(ReproError):
     """Program-state comparison found a divergence (an error was detected).
 

@@ -1,0 +1,165 @@
+"""Durable, checksummed JSONL journals.
+
+The campaign engine (:mod:`repro.campaign`) streams every completed task
+to an append-only JSONL file so a crashed fleet — worker *or* supervisor
+— can resume from what already finished instead of starting over.  The
+format reuses the R/R log's integrity discipline
+(:mod:`repro.core.rr_log`): each line carries a monotonic sequence
+number and an XXH3-64 content checksum, verified on read, so storage rot
+surfaces as a typed ``journal_integrity`` error instead of silently
+poisoning a resumed campaign.
+
+One line per record::
+
+    {"b": {...body...}, "q": <seq>, "x": "0x<16 hex>"}
+
+``q`` is the record's position in the journal (0-based, headers
+included); ``x`` is the XXH3-64 of the canonical JSON encoding of
+``[q, body]``.  Canonical means ``sort_keys`` + compact separators, so
+the checksum is independent of dict insertion order.
+
+Durability follows the classic sink cadence: ``flush_every_n`` lines per
+``flush()`` (default 1 — every record survives a supervisor SIGKILL) and
+``fsync_every_n`` lines per ``os.fsync`` (default off; turn on to
+survive the whole machine).  A writer killed mid-line leaves a torn
+final line; :func:`read_journal` tolerates exactly that — a valid-JSON
+record with a *bad checksum* is corruption and raises, but an
+unparseable final line is dropped as the expected signature of a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import JournalIntegrityError
+from repro.hashing import Xxh3_64
+
+__all__ = [
+    "JournalWriter",
+    "journal_checksum",
+    "read_journal",
+]
+
+
+def _canonical(doc: Any) -> bytes:
+    return json.dumps(doc, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def journal_checksum(seq: int, body: Dict[str, Any]) -> int:
+    """XXH3-64 over the canonical encoding of ``[seq, body]``.
+
+    Covering the sequence number means a record spliced in from another
+    position (or another journal) fails verification even when its body
+    is individually intact.
+    """
+    return Xxh3_64().update(_canonical([seq, body])).digest()
+
+
+class JournalWriter:
+    """Append-only JSONL writer with per-record integrity metadata.
+
+    ``start_seq`` continues an existing journal: resume re-opens the
+    file in append mode with ``start_seq=len(existing records)`` so the
+    sequence stays gapless across crashes.
+    """
+
+    def __init__(self, path: str, flush_every_n: int = 1,
+                 fsync_every_n: Optional[int] = None,
+                 start_seq: int = 0):
+        if flush_every_n < 1:
+            raise ValueError("flush_every_n must be >= 1")
+        if fsync_every_n is not None and fsync_every_n < 1:
+            raise ValueError("fsync_every_n must be >= 1 or None")
+        self.path = path
+        self.flush_every_n = flush_every_n
+        self.fsync_every_n = fsync_every_n
+        self._seq = start_seq
+        self._since_flush = 0
+        self._since_fsync = 0
+        self._file = open(path, "a", encoding="utf-8")
+
+    @property
+    def seq(self) -> int:
+        """Sequence number the next ``append`` will stamp."""
+        return self._seq
+
+    def append(self, body: Dict[str, Any]) -> int:
+        """Write one record; returns the sequence number it received."""
+        seq = self._seq
+        record = {"b": body, "q": seq,
+                  "x": f"{journal_checksum(seq, body):#018x}"}
+        self._file.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        self._seq += 1
+        self._since_flush += 1
+        self._since_fsync += 1
+        if self._since_flush >= self.flush_every_n:
+            self._file.flush()
+            self._since_flush = 0
+            if self.fsync_every_n is not None \
+                    and self._since_fsync >= self.fsync_every_n:
+                os.fsync(self._file.fileno())
+                self._since_fsync = 0
+        return seq
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self.fsync_every_n is not None:
+            os.fsync(self._file.fileno())
+        self._file.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str) -> List[Dict[str, Any]]:
+    """Read and verify a journal; returns the record bodies in order.
+
+    * A torn **final** line (invalid JSON, or not newline-terminated) is
+      the expected residue of a crashed writer: it is dropped and the
+      records before it are returned.
+    * Invalid JSON anywhere **before** the final line, a sequence number
+      that does not match the record's position, or a checksum mismatch
+      is corruption: :class:`JournalIntegrityError` (typed
+      ``journal_integrity``) with the offending position.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        raw = f.read()
+    lines = raw.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()                     # trailing newline, the normal case
+    bodies: List[Dict[str, Any]] = []
+    last = len(lines) - 1
+    for position, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+            body, seq, stored = record["b"], record["q"], record["x"]
+        except (ValueError, KeyError, TypeError) as exc:
+            if position == last:
+                break                   # torn tail of a crashed writer
+            raise JournalIntegrityError(
+                f"journal {path}: unparseable record at line "
+                f"{position}: {exc}", position=position) from exc
+        if seq != position:
+            raise JournalIntegrityError(
+                f"journal {path}: record at line {position} carries "
+                f"sequence number {seq} — reordered or spliced",
+                position=position)
+        actual = journal_checksum(seq, body)
+        if f"{actual:#018x}" != stored:
+            raise JournalIntegrityError(
+                f"journal {path}: record {position} checksum mismatch: "
+                f"stored {stored}, recomputed {actual:#018x}",
+                position=position)
+        bodies.append(body)
+    return bodies

@@ -41,9 +41,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.campaign import CampaignEngine, CampaignTask, DISP_COMPLETED, \
+    task_rng
 from repro.common.rng import RngPool
 from repro.core import Parallaft, ParallaftConfig
 from repro.core.segment import Segment, SegmentStatus
+from repro.faults.drawing import draw_until_fired
 from repro.faults.outcomes import CampaignResult, InjectionResult, classify_run
 from repro.faults.sites import FaultSite
 from repro.isa import DATA_BASE, STACK_SIZE, STACK_TOP
@@ -413,26 +416,42 @@ class InfraInjector:
 
     # -- campaign ----------------------------------------------------------
 
-    def _draw_site(self, kind: str, eligible: List[int]) -> InfraFaultSite:
+    def _draw_site(self, kind: str, eligible: List[int],
+                   rng=None) -> InfraFaultSite:
+        rng = rng if rng is not None else self.rng
         return InfraFaultSite(
             kind=kind,
-            segment_index=self.rng.choice(eligible),
-            bit=self.rng.randrange(1 << 17),
-            record_rank=self.rng.randrange(64),
-            field_rank=self.rng.randrange(8),
-            page_rank=self.rng.randrange(1 << 16),
-            when=self.rng.uniform(0.55, 0.9),
-            app_bit=self.rng.randrange(8, 32),
+            segment_index=rng.choice(eligible),
+            bit=rng.randrange(1 << 17),
+            record_rank=rng.randrange(64),
+            field_rank=rng.randrange(8),
+            page_rank=rng.randrange(1 << 16),
+            when=rng.uniform(0.55, 0.9),
+            app_bit=rng.randrange(8, 32),
         )
 
     def run_campaign(self, kinds: Tuple[str, ...] = INFRA_KINDS,
                      injections_per_kind: int = 6,
                      max_attempts_per_injection: int = 6,
                      benchmark_name: str = "workload",
+                     shards: int = 1, workers: int = 0,
+                     campaign_seed: Optional[int] = None,
+                     journal_path: Optional[str] = None,
+                     resume: bool = False,
+                     registry=None,
+                     engine_options: Optional[Dict] = None,
                      ) -> Dict[str, CampaignResult]:
         """Per kind: ``injections_per_kind`` injections at drawn sites,
         each retried up to ``max_attempts_per_injection`` times before
-        being counted as missed.  Returns ``{kind: CampaignResult}``."""
+        being counted as missed.  Returns ``{kind: CampaignResult}``.
+
+        One engine plan covers every kind (the payload carries the kind),
+        so sharding and resume account the whole campaign as a unit; each
+        task draws from its splittable ``(campaign_seed, shard, index)``
+        seed, quarantined/exhausted tasks count as misses of their kind,
+        and the engine's fleet accounting is attached to every per-kind
+        result as ``campaign.fleet``.
+        """
         if self._profile_main_instructions is None:
             self.profile()
         instr = self._profile_main_instructions
@@ -441,21 +460,49 @@ class InfraInjector:
             # The final segment ends at exit: faults there have no later
             # output to corrupt, so they only dilute the campaign.
             eligible = eligible[:-1]
-        results: Dict[str, CampaignResult] = {}
-        for kind in kinds:
-            campaign = CampaignResult(benchmark=benchmark_name)
-            for _ in range(injections_per_kind):
-                result = None
-                for _attempt in range(max_attempts_per_injection):
-                    site = self._draw_site(kind, eligible)
-                    result = self.inject_site(site)
-                    if result is not None:
-                        break
-                if result is None:
-                    campaign.missed += 1
-                    continue
-                campaign.injections.append(result)
-            results[kind] = campaign
+        payloads = [{"kind": kind, "shot": shot}
+                    for kind in kinds
+                    for shot in range(injections_per_kind)]
+
+        def run_task(task: CampaignTask) -> Dict:
+            rng = task_rng(task.seed)
+            kind = task.payload["kind"]
+            result = draw_until_fired(
+                lambda: self._draw_site(kind, eligible, rng=rng),
+                self.inject_site, max_attempts_per_injection)
+            if result is None:
+                return {"kind": kind, "missed": True}
+            return {"kind": kind, "injection": result.to_dict()}
+
+        engine = CampaignEngine(
+            run_task, payloads,
+            campaign_seed=(campaign_seed if campaign_seed is not None
+                           else self.seed),
+            shards=shards, workers=workers,
+            name=f"infra:{benchmark_name}",
+            fingerprint_extra={"kinds": list(kinds),
+                               "injections_per_kind": injections_per_kind,
+                               "hardening": self.hardening},
+            journal_path=journal_path, resume=resume,
+            registry=registry,
+            **(engine_options or {}))
+        fleet = engine.run()
+
+        results: Dict[str, CampaignResult] = {
+            kind: CampaignResult(benchmark=benchmark_name)
+            for kind in kinds}
+        by_id = {t.task_id: t for t in engine.tasks}
+        for record in fleet.records:
+            kind = by_id[record.task_id].payload["kind"]
+            campaign = results[kind]
+            if record.disposition != DISP_COMPLETED \
+                    or record.result.get("missed"):
+                campaign.missed += 1
+                continue
+            campaign.injections.append(
+                InjectionResult.from_dict(record.result["injection"]))
+        for campaign in results.values():
+            campaign.fleet = fleet
         return results
 
 
@@ -471,6 +518,9 @@ def run_infra_campaign(program: Program,
                        quantum: int = 2000,
                        files: Optional[Dict[str, bytes]] = None,
                        benchmark_name: str = "workload",
+                       shards: int = 1, workers: int = 0,
+                       journal_path: Optional[str] = None,
+                       resume: bool = False,
                        ) -> Dict[str, CampaignResult]:
     """One-call campaign: per-kind results for one workload and one arm
     (``hardening`` off = measure the escape rate, on = prove it zero)."""
@@ -480,4 +530,5 @@ def run_infra_campaign(program: Program,
     return injector.run_campaign(
         kinds=kinds, injections_per_kind=injections_per_kind,
         max_attempts_per_injection=max_attempts_per_injection,
-        benchmark_name=benchmark_name)
+        benchmark_name=benchmark_name, shards=shards, workers=workers,
+        journal_path=journal_path, resume=resume)

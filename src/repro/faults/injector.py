@@ -25,9 +25,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.campaign import CampaignEngine, CampaignTask, DISP_COMPLETED, \
+    task_rng
 from repro.common.rng import RngPool
 from repro.core import Parallaft, ParallaftConfig
 from repro.core.stats import RunStats
+from repro.faults.drawing import draw_until_fired
 from repro.faults.outcomes import (
     CampaignResult,
     InjectionResult,
@@ -193,15 +196,16 @@ class FaultInjector:
 
     # -- campaign ----------------------------------------------------------------
 
-    def _draw_site(self, target: str,
-                   site_kinds: Tuple[str, ...]) -> FaultSite:
+    def _draw_site(self, target: str, site_kinds: Tuple[str, ...],
+                   rng=None) -> FaultSite:
+        rng = rng if rng is not None else self.rng
         kind = site_kinds[0] if len(site_kinds) == 1 \
-            else self.rng.choice(list(site_kinds))
+            else rng.choice(list(site_kinds))
         if kind == KIND_MEMORY:
-            return FaultSite.memory(self.rng.randrange(1 << 16),
-                                    self.rng.randrange(1 << 20),
+            return FaultSite.memory(rng.randrange(1 << 16),
+                                    rng.randrange(1 << 20),
                                     target=target)
-        file_name, index, bit = self.rng.choice(self._sites)
+        file_name, index, bit = rng.choice(self._sites)
         return FaultSite.register(file_name, index, bit, target=target)
 
     def run_campaign(self, injections_per_segment: int = 5,
@@ -210,7 +214,14 @@ class FaultInjector:
                      max_segments: Optional[int] = None,
                      target: str = TARGET_CHECKER,
                      site_kinds: Tuple[str, ...] = (KIND_REGISTER,),
-                     verify_recovered_output: bool = False) -> CampaignResult:
+                     verify_recovered_output: bool = False,
+                     shards: int = 1, workers: int = 0,
+                     campaign_seed: Optional[int] = None,
+                     journal_path: Optional[str] = None,
+                     resume: bool = False,
+                     registry=None,
+                     engine_options: Optional[Dict] = None
+                     ) -> CampaignResult:
         """The paper's campaign, generalized: per segment,
         ``injections_per_segment`` injections into ``target`` at uniform
         points, drawing each site from ``site_kinds``.
@@ -220,10 +231,22 @@ class FaultInjector:
         full program run, exactly as in the paper's methodology).
         ``verify_recovered_output`` asserts that every RECOVERED run's
         end-of-run stdout equals the fault-free reference — the recovery
-        campaign's correctness oracle.
+        campaign's correctness oracle, applied when the engine's records
+        are merged so resumed fleets check journaled runs too.
+
+        Execution routes through :class:`repro.campaign.CampaignEngine`:
+        each planned injection is one engine task whose draws come from a
+        splittable seed (``campaign_seed``, shard, index), so any
+        injection is reproducible in isolation and the merged result of a
+        sharded fleet (``workers > 0``) is byte-identical to the serial
+        run of the same plan.  ``journal_path`` + ``resume`` continue a
+        half-finished campaign, skipping journaled injections.  Tasks
+        whose worker was quarantined or that exhausted their attempts are
+        counted on ``CampaignResult.missed`` (the campaign still sums to
+        plan).  The engine's :class:`~repro.campaign.FleetResult` is
+        attached as ``campaign.fleet`` for :func:`render_fleet`.
         """
         times, reference = self.profile()
-        campaign = CampaignResult(benchmark=benchmark_name)
         if target == TARGET_MAIN:
             weights = self._profile_main_instructions
         else:
@@ -232,33 +255,65 @@ class FaultInjector:
         if max_segments is not None and len(indices) > max_segments:
             stride = len(indices) / max_segments
             indices = [indices[int(i * stride)] for i in range(max_segments)]
-        for segment_index in indices:
+        payloads = [{"segment_index": segment_index, "shot": shot}
+                    for segment_index in indices
+                    for shot in range(injections_per_segment)]
+        site_kinds = tuple(site_kinds)
+
+        def run_task(task: CampaignTask) -> Dict:
+            segment_index = task.payload["segment_index"]
             t_profile = times[segment_index]
-            for _ in range(injections_per_segment):
-                result = None
-                for _attempt in range(max_attempts_per_injection):
-                    site = self._draw_site(target, tuple(site_kinds))
-                    if target == TARGET_MAIN:
-                        # Stay clear of the boundary so the flip lands
-                        # inside the recorded segment despite counter
-                        # overcount noise.
-                        when = self.rng.uniform(0.0, 0.95)
-                    else:
-                        when = self.rng.uniform(0, 1.1 * t_profile)
-                    result = self.inject_site(segment_index, when, site,
-                                              reference)
-                    if result is not None:
-                        break
-                if result is None:
-                    # The paper discards these; counting them keeps the
-                    # campaign report summing to what was planned.
-                    campaign.missed += 1
-                    continue
-                if (verify_recovered_output
-                        and result.outcome == Outcome.RECOVERED
-                        and not result.output_matched):
-                    raise AssertionError(
-                        f"recovered run diverged from the fault-free "
-                        f"reference (segment {segment_index})")
-                campaign.injections.append(result)
+            rng = task_rng(task.seed)
+
+            def draw() -> Tuple[FaultSite, float]:
+                site = self._draw_site(target, site_kinds, rng=rng)
+                if target == TARGET_MAIN:
+                    # Stay clear of the boundary so the flip lands
+                    # inside the recorded segment despite counter
+                    # overcount noise.
+                    when = rng.uniform(0.0, 0.95)
+                else:
+                    when = rng.uniform(0, 1.1 * t_profile)
+                return site, when
+
+            result = draw_until_fired(
+                lambda: draw(),
+                lambda drawn: self.inject_site(segment_index, drawn[1],
+                                               drawn[0], reference),
+                max_attempts_per_injection)
+            if result is None:
+                # The paper discards these; counting them keeps the
+                # campaign report summing to what was planned.
+                return {"missed": True}
+            return {"injection": result.to_dict()}
+
+        engine = CampaignEngine(
+            run_task, payloads,
+            campaign_seed=(campaign_seed if campaign_seed is not None
+                           else self.seed),
+            shards=shards, workers=workers,
+            name=f"faults:{benchmark_name}",
+            fingerprint_extra={"target": target, "site_kinds": site_kinds,
+                               "injections_per_segment":
+                                   injections_per_segment},
+            journal_path=journal_path, resume=resume,
+            registry=registry,
+            **(engine_options or {}))
+        fleet = engine.run()
+
+        campaign = CampaignResult(benchmark=benchmark_name)
+        for record in fleet.records:
+            if record.disposition != DISP_COMPLETED \
+                    or record.result.get("missed"):
+                campaign.missed += 1
+                continue
+            result = InjectionResult.from_dict(record.result["injection"])
+            if (verify_recovered_output
+                    and result.outcome == Outcome.RECOVERED
+                    and not result.output_matched):
+                raise AssertionError(
+                    f"recovered run diverged from the fault-free "
+                    f"reference (segment {result.segment_index})")
+            campaign.injections.append(result)
+        campaign.fleet = fleet
         return campaign

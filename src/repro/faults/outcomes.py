@@ -129,6 +129,29 @@ class InjectionResult:
     #: Final stdout matched the fault-free reference.
     output_matched: bool = True
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form, for campaign journals (the enum maps
+        to its value; everything else is already plain)."""
+        return {
+            "outcome": self.outcome.value,
+            "register_file": self.register_file,
+            "register_index": self.register_index,
+            "bit": self.bit,
+            "segment_index": self.segment_index,
+            "inject_time": self.inject_time,
+            "detail": self.detail,
+            "target": self.target,
+            "site_kind": self.site_kind,
+            "rolled_back": self.rolled_back,
+            "output_matched": self.output_matched,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "InjectionResult":
+        doc = dict(doc)
+        doc["outcome"] = Outcome(doc["outcome"])
+        return cls(**doc)
+
 
 @dataclass
 class CampaignResult:
@@ -140,6 +163,13 @@ class CampaignResult:
     #: attempts (the paper discards these; we count them so campaigns
     #: cannot silently lose planned injections).
     missed: int = 0
+    #: The engine's :class:`repro.campaign.FleetResult` when the campaign
+    #: ran through :class:`~repro.campaign.CampaignEngine` — shard
+    #: accounting and ``counter.campaign.*`` metrics for ``render_fleet``.
+    #: Excluded from equality/serialization: two campaigns are the same
+    #: campaign whatever fleet executed them.
+    fleet: Optional[object] = field(default=None, compare=False,
+                                    repr=False)
 
     def count(self, outcome: Outcome) -> int:
         return sum(1 for r in self.injections if r.outcome == outcome)
@@ -182,3 +212,15 @@ class CampaignResult:
 
     def summary(self) -> Dict[str, float]:
         return {outcome.value: self.fraction(outcome) for outcome in Outcome}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"benchmark": self.benchmark,
+                "injections": [r.to_dict() for r in self.injections],
+                "missed": self.missed}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "CampaignResult":
+        return cls(benchmark=doc["benchmark"],
+                   injections=[InjectionResult.from_dict(r)
+                               for r in doc["injections"]],
+                   missed=doc["missed"])

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign import CampaignEngine, CampaignTask, DISP_COMPLETED, \
+    named_seed
 from repro.core import Parallaft, ParallaftConfig
 from repro.core.stats import RunStats
 from repro.faults import CampaignResult, FaultInjector
@@ -61,6 +63,43 @@ class PressureRunResult:
     def survived(self) -> bool:
         return not self.oom and not self.error_kinds
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form for campaign journals.  Invariant
+        violations keep their invariant name and message; the triggering
+        :class:`~repro.trace.TraceEvent` does not cross the process
+        boundary (it holds live runtime references)."""
+        return {
+            "budget_bytes": self.budget_bytes,
+            "overhead_fraction": self.overhead_fraction,
+            "wall_time": self.wall_time,
+            "overhead_pct": self.overhead_pct,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "stalls": self.stalls, "sheds": self.sheds,
+            "evictions": self.evictions, "adaptations": self.adaptations,
+            "checker_ooms": self.checker_ooms,
+            "oom_kills": self.oom_kills, "oom": self.oom,
+            "output_matched": self.output_matched,
+            "segments_checked": self.segments_checked,
+            "error_kinds": list(self.error_kinds),
+            "invariant_violations": [
+                {"invariant": v.invariant, "message": v.message}
+                for v in self.invariant_violations],
+            "campaign": (self.campaign.to_dict()
+                         if self.campaign is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "PressureRunResult":
+        doc = dict(doc)
+        doc["invariant_violations"] = [
+            InvariantViolation(invariant=v["invariant"],
+                               message=v["message"])
+            for v in doc["invariant_violations"]]
+        campaign = doc["campaign"]
+        doc["campaign"] = (CampaignResult.from_dict(campaign)
+                           if campaign is not None else None)
+        return cls(**doc)
+
 
 @dataclass
 class PressureSweep:
@@ -70,6 +109,10 @@ class PressureSweep:
     baseline_peak_bytes: int          # unprotected pool high-water mark
     unbounded_peak_bytes: float       # unbounded *protected* high-water
     runs: List[PressureRunResult] = field(default_factory=list)
+    #: The engine's :class:`repro.campaign.FleetResult` when the sweep
+    #: came out of :func:`run_pressure_campaign`; not serialized.
+    fleet: Optional[object] = field(default=None, compare=False,
+                                    repr=False)
 
     @property
     def overhead_monotone(self) -> bool:
@@ -77,6 +120,20 @@ class PressureSweep:
         small scheduling tolerance) across the surviving rungs."""
         walls = [r.wall_time for r in self.runs if r.survived]
         return all(b >= a * 0.995 for a, b in zip(walls, walls[1:]))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"benchmark": self.benchmark,
+                "baseline_peak_bytes": self.baseline_peak_bytes,
+                "unbounded_peak_bytes": self.unbounded_peak_bytes,
+                "runs": [r.to_dict() for r in self.runs]}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "PressureSweep":
+        return cls(benchmark=doc["benchmark"],
+                   baseline_peak_bytes=doc["baseline_peak_bytes"],
+                   unbounded_peak_bytes=doc["unbounded_peak_bytes"],
+                   runs=[PressureRunResult.from_dict(r)
+                         for r in doc["runs"]])
 
 
 def _baseline_peak(bench: Benchmark, platform: PlatformConfig,
@@ -199,13 +256,56 @@ def run_pressure_campaign(benchmarks: Sequence[Benchmark],
                           scale: int = 1, seed: int = 1, quantum: int = 2000,
                           injections_per_segment: int = 0,
                           max_campaign_segments: int = 3,
+                          shards: int = 1, workers: int = 0,
+                          journal_path: Optional[str] = None,
+                          resume: bool = False,
+                          registry=None,
+                          engine_options: Optional[Dict] = None,
                           ) -> Dict[str, PressureSweep]:
-    """Sweep every workload; returns ``{benchmark: PressureSweep}``."""
-    return {
-        bench.name: run_pressure_sweep(
+    """Sweep every workload; returns ``{benchmark: PressureSweep}``.
+
+    Routed through :class:`repro.campaign.CampaignEngine`, one task per
+    workload.  Each workload's run seed is ``named_seed(seed, name)`` —
+    keyed by the *benchmark name*, not its position in the sequence, so
+    adding, dropping or reordering workloads never changes another
+    workload's draws and any single sweep is reproducible in isolation.
+    ``workers > 0`` sweeps workloads in parallel; ``journal_path`` +
+    ``resume`` skip already-journaled sweeps.  Each returned sweep
+    carries the engine's :class:`~repro.campaign.FleetResult` as
+    ``sweep.fleet``.
+    """
+    benchmarks = list(benchmarks)
+    by_name = {bench.name: bench for bench in benchmarks}
+    payloads = [{"benchmark": bench.name} for bench in benchmarks]
+    seeds = [named_seed(seed, bench.name) for bench in benchmarks]
+
+    def run_task(task: CampaignTask) -> Dict[str, object]:
+        bench = by_name[task.payload["benchmark"]]
+        sweep = run_pressure_sweep(
             bench, fractions=fractions, platform=platform, scale=scale,
-            seed=seed, quantum=quantum,
+            seed=task.seed, quantum=quantum,
             injections_per_segment=injections_per_segment,
             max_campaign_segments=max_campaign_segments)
-        for bench in benchmarks
-    }
+        return sweep.to_dict()
+
+    engine = CampaignEngine(
+        run_task, payloads, campaign_seed=seed, seeds=seeds,
+        shards=shards, workers=workers, name="pressure",
+        fingerprint_extra={"fractions": [float(f) for f in fractions],
+                           "scale": scale,
+                           "injections_per_segment":
+                               injections_per_segment,
+                           "benchmarks": sorted(by_name)},
+        journal_path=journal_path, resume=resume, registry=registry,
+        **(engine_options or {}))
+    fleet = engine.run()
+
+    by_id = {t.task_id: t for t in engine.tasks}
+    sweeps: Dict[str, PressureSweep] = {}
+    for record in fleet.records:
+        if record.disposition != DISP_COMPLETED:
+            continue        # failed/quarantined sweeps are visible on fleet
+        sweep = PressureSweep.from_dict(record.result)
+        sweep.fleet = fleet
+        sweeps[by_id[record.task_id].payload["benchmark"]] = sweep
+    return sweeps

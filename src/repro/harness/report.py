@@ -208,10 +208,17 @@ def render_injection(campaigns: Dict[str, CampaignResult]) -> str:
     Columns are generated from the :class:`Outcome` enum so new outcome
     classes (e.g. RECOVERED) appear automatically; the trailing ``missed``
     column accounts for injections that never fired, so the table always
-    adds up to what the campaign planned.
+    adds up to what the campaign planned.  A campaign with zero landed
+    injections (every shot missed, or nothing was planned) renders its
+    fraction cells as ``—`` — there is no distribution to report, and a
+    ``0.0%`` row would misread as a measured zero.
     """
     rows = []
     for name, campaign in sorted(campaigns.items()):
+        if campaign.total == 0:
+            rows.append((name, 0, *(NA for _ in Outcome),
+                         campaign.missed))
+            continue
         rows.append((name, campaign.total,
                      *(f"{100 * campaign.fraction(o):.1f}%"
                        for o in Outcome),
@@ -225,6 +232,55 @@ def render_injection(campaigns: Dict[str, CampaignResult]) -> str:
                      sum(c.missed for c in campaigns.values())))
     return _table(("benchmark", "n", *(o.value for o in Outcome), "missed"),
                   rows)
+
+
+def render_fleet(fleet) -> str:
+    """Per-shard supervision table for one
+    :class:`repro.campaign.FleetResult` — one row per shard plus a total
+    row, followed by the run-level ``counter.campaign.*`` lines (retries,
+    backoff seconds, resumes) that have no per-shard home.  Columns that
+    never fired render ``—`` so a healthy fleet reads as a clean sweep.
+    """
+    headers = ("shard", "tasks", "done", "resumed", "retry", "crash",
+               "hb-to", "straggle", "quarantine", "failed", "respawn",
+               "wall")
+
+    def cell(n) -> str:
+        return NA if not n else str(n)
+
+    rows = []
+    for s in fleet.shards:
+        rows.append((str(s.shard), s.tasks, cell(s.completed),
+                     cell(s.resumed), cell(s.retries), cell(s.crashes),
+                     cell(s.heartbeat_timeouts), cell(s.stragglers),
+                     cell(s.quarantined), cell(s.failed),
+                     cell(s.respawns), f"{s.wall_time:.2f}"))
+    if len(fleet.shards) > 1:
+        rows.append((
+            "all", sum(s.tasks for s in fleet.shards),
+            cell(sum(s.completed for s in fleet.shards)),
+            cell(sum(s.resumed for s in fleet.shards)),
+            cell(sum(s.retries for s in fleet.shards)),
+            cell(sum(s.crashes for s in fleet.shards)),
+            cell(sum(s.heartbeat_timeouts for s in fleet.shards)),
+            cell(sum(s.stragglers for s in fleet.shards)),
+            cell(sum(s.quarantined for s in fleet.shards)),
+            cell(sum(s.failed for s in fleet.shards)),
+            cell(sum(s.respawns for s in fleet.shards)),
+            f"{sum(s.wall_time for s in fleet.shards):.2f}"))
+    registry = fleet.registry
+    footer = [
+        f"campaign {fleet.name}: {len(fleet.records)} records, "
+        f"{fleet.resumed_tasks} resumed from journal, "
+        f"{fleet.wall_time:.2f}s wall"
+        + (f", journal {fleet.journal_path}" if fleet.journal_path
+           else ""),
+        f"counters: retries={registry.value('campaign.retries'):g} "
+        f"backoff={registry.value('campaign.backoff_seconds'):.2f}s "
+        f"worker_crashes={registry.value('campaign.worker_crashes'):g} "
+        f"quarantined={registry.value('campaign.quarantined'):g}",
+    ]
+    return _table(headers, rows) + "\n" + "\n".join(footer)
 
 
 def render_run_stats(stats) -> str:

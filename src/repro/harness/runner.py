@@ -233,6 +233,62 @@ def suite_geomean(overheads: Dict[str, float]) -> float:
     return geomean_overhead_pct(overheads.values())
 
 
+def _run_campaign_cli(args) -> int:
+    """``--campaign`` mode: one engine-routed fault campaign per
+    benchmark, rendered as the injection-outcome table plus the fleet
+    supervision table.  The printed report depends only on
+    ``(seed-base, shards, plan)`` — the same flags reproduce it
+    byte-for-byte whatever ``--workers`` count executed it, including a
+    ``--resume`` after a crash."""
+    from repro.faults import FaultInjector
+    from repro.harness.report import render_fleet, render_injection
+    from repro.minic import compile_source
+    from repro.sim import apple_m2
+    from repro.workloads.registry import benchmark
+
+    names = [n.strip() for n in args.bench.split(",")]
+    campaigns = {}
+    fleets = {}
+    for name in names:
+        bench = benchmark(name)
+        source, files = bench.build(args.scale, args.seed_base)
+
+        def config_factory():
+            config = ParallaftConfig(mem_budget_bytes=args.budget)
+            if args.mode == "raft":
+                config.mode = RuntimeMode.RAFT
+            return config
+
+        journal = args.journal
+        if journal is not None and len(names) > 1:
+            root, dot, ext = journal.rpartition(".")
+            journal = (f"{root}.{name}.{ext}" if dot
+                       else f"{journal}.{name}")
+        injector = FaultInjector(
+            compile_source(source, name=bench.name),
+            config_factory=config_factory, platform_factory=apple_m2,
+            files=files, seed=args.seed_base, quantum=args.quantum)
+        campaigns[name] = injector.run_campaign(
+            injections_per_segment=args.injections,
+            benchmark_name=name, max_segments=args.max_segments,
+            shards=args.shards, workers=args.workers,
+            journal_path=journal, resume=args.resume)
+        fleets[name] = campaigns[name].fleet
+    merged = render_injection(campaigns) + "\n"
+    report = [merged.rstrip("\n")]
+    for name in names:
+        report.append(f"-- fleet: {name} --\n{render_fleet(fleets[name])}")
+    print("\n\n".join(report))
+    if args.report_out is not None:
+        # Only the merged outcome table goes to the file: it depends on
+        # nothing but (seed, shards, plan), so serial / fleet / resumed
+        # runs of the same campaign write byte-identical reports.  The
+        # fleet table (wall-clock, per-run supervision) stays on stdout.
+        with open(args.report_out, "w", encoding="utf-8") as f:
+            f.write(merged)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: ``python -m repro.harness.runner --bench mcf --mem-sample``.
 
@@ -276,7 +332,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--collapsed", default=None, metavar="PATH",
                         help="write the phase profile as a collapsed-stack "
                              "(flamegraph) file, per input")
+    campaign = parser.add_argument_group(
+        "campaign mode",
+        "run a sharded fault-injection campaign through the campaign "
+        "engine instead of a measurement run")
+    campaign.add_argument("--campaign", action="store_true",
+                          help="run a fault-injection campaign on each "
+                               "benchmark and print the outcome + fleet "
+                               "tables")
+    campaign.add_argument("--shards", type=int, default=1, metavar="N",
+                          help="logical shards (part of the campaign's "
+                               "identity; resume refuses a mismatch)")
+    campaign.add_argument("--workers", type=int, default=0, metavar="K",
+                          help="worker processes (0 = serial in-process, "
+                               "the determinism baseline)")
+    campaign.add_argument("--journal", default=None, metavar="PATH",
+                          help="durable JSONL journal (multi-benchmark "
+                               "runs insert the benchmark name before "
+                               "the extension)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="resume from --journal, skipping "
+                               "completed injections")
+    campaign.add_argument("--injections", type=int, default=3, metavar="N",
+                          help="injections per segment (default 3)")
+    campaign.add_argument("--max-segments", type=int, default=None,
+                          metavar="N",
+                          help="sample at most N segments instead of "
+                               "injecting into every one")
+    campaign.add_argument("--report-out", default=None, metavar="PATH",
+                          help="also write the campaign report to PATH")
     args = parser.parse_args(argv)
+
+    if args.campaign:
+        return _run_campaign_cli(args)
 
     from repro.harness.report import render_phase_breakdown, render_run_stats
     from repro.metrics import Dashboard

@@ -76,6 +76,9 @@ class Gauge:
         #: Optional pull hook: when set, ``sample()`` refreshes the value
         #: from it instead of relying on pushes.
         self.fn: Optional[Callable[[], float]] = None
+        #: Virtual time of the most recent sampled write; drives the
+        #: last-write-wins rule when shard registries merge.
+        self.last_write = float("-inf")
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -210,3 +213,123 @@ class MetricRegistry:
                 if metric.fn is not None:
                     metric.value = float(metric.fn())
                 metric.series.append((when, metric.value))
+                metric.last_write = when
+
+    # -- shard aggregation -------------------------------------------------
+
+    def _insert(self, metric) -> None:
+        self._metrics[(metric.name, metric.labels)] = metric
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold ``other`` into this registry (returned for chaining).
+
+        The aggregation rules are the ones sharded campaigns need:
+
+        * **counters** sum — each shard counted disjoint work;
+        * **gauges** take the write with the greatest virtual time
+          (series are concatenated and time-sorted; a gauge that was
+          never sampled loses to any that was, and between two unsampled
+          gauges the incoming value wins so merging a snapshot is not a
+          no-op);
+        * **histograms** add bucket-wise — identical bounds required,
+          mismatched bounds are a :class:`MetricKindError` (two shards
+          measuring "the same" histogram differently is a programming
+          error, not data).
+        """
+        for metric in other:
+            key = (metric.name, metric.labels)
+            mine = self._metrics.get(key)
+            if mine is None:
+                if isinstance(metric, Counter):
+                    mine = Counter(metric.name, metric.labels)
+                elif isinstance(metric, Gauge):
+                    mine = Gauge(metric.name, metric.labels)
+                else:
+                    mine = Histogram(metric.name, metric.labels,
+                                     bounds=metric.bounds)
+                self._insert(mine)
+            elif mine.kind != metric.kind:
+                raise MetricKindError(
+                    f"metric {metric.name!r} is a {mine.kind} here but a "
+                    f"{metric.kind} in the merged registry")
+            if isinstance(metric, Counter):
+                mine.inc(metric.value)
+            elif isinstance(metric, Gauge):
+                mine.series = sorted(mine.series + metric.series)
+                if metric.last_write >= mine.last_write:
+                    mine.value = metric.value
+                    mine.last_write = metric.last_write
+            else:
+                if mine.bounds != metric.bounds:
+                    raise MetricKindError(
+                        f"histogram {metric.name!r}: bucket bounds differ "
+                        f"({mine.bounds} vs {metric.bounds})")
+                for i, count in enumerate(metric.bucket_counts):
+                    mine.bucket_counts[i] += count
+                mine.count += metric.count
+                mine.sum += metric.sum
+                if metric.max_observed > mine.max_observed:
+                    mine.max_observed = metric.max_observed
+        return self
+
+    # -- snapshot transfer -------------------------------------------------
+
+    def to_snapshot(self) -> Dict[str, list]:
+        """JSON-serializable dump of every metric, for shipping a shard's
+        registry across a process boundary or into a campaign journal.
+        Gauge pull hooks are refreshed into plain values (callables do
+        not serialize); everything else round-trips exactly."""
+        doc: Dict[str, list] = {"counters": [], "gauges": [],
+                                "histograms": []}
+        for metric in self:
+            labels = [list(pair) for pair in metric.labels]
+            if isinstance(metric, Counter):
+                doc["counters"].append(
+                    {"name": metric.name, "labels": labels,
+                     "value": metric.value})
+            elif isinstance(metric, Gauge):
+                value = (float(metric.fn()) if metric.fn is not None
+                         else metric.value)
+                entry = {"name": metric.name, "labels": labels,
+                         "value": value,
+                         "series": [list(p) for p in metric.series]}
+                if metric.last_write != float("-inf"):
+                    entry["last_write"] = metric.last_write
+                doc["gauges"].append(entry)
+            else:
+                doc["histograms"].append(
+                    {"name": metric.name, "labels": labels,
+                     "bounds": list(metric.bounds),
+                     "bucket_counts": list(metric.bucket_counts),
+                     "count": metric.count, "sum": metric.sum,
+                     "max_observed": metric.max_observed})
+        return doc
+
+    @classmethod
+    def from_snapshot(cls, doc: Dict[str, list]) -> "MetricRegistry":
+        """Rebuild a registry from :meth:`to_snapshot` output."""
+        registry = cls()
+        for entry in doc.get("counters", []):
+            metric = Counter(entry["name"],
+                             tuple(tuple(p) for p in entry["labels"]))
+            metric.value = float(entry["value"])
+            registry._insert(metric)
+        for entry in doc.get("gauges", []):
+            metric = Gauge(entry["name"],
+                           tuple(tuple(p) for p in entry["labels"]))
+            metric.value = float(entry["value"])
+            metric.series = [tuple(p) for p in entry.get("series", [])]
+            metric.last_write = float(entry.get("last_write",
+                                                float("-inf")))
+            registry._insert(metric)
+        for entry in doc.get("histograms", []):
+            metric = Histogram(entry["name"],
+                               tuple(tuple(p) for p in entry["labels"]),
+                               bounds=entry["bounds"])
+            metric.bucket_counts = [int(c)
+                                    for c in entry["bucket_counts"]]
+            metric.count = int(entry["count"])
+            metric.sum = float(entry["sum"])
+            metric.max_observed = float(entry["max_observed"])
+            registry._insert(metric)
+        return registry

@@ -1,0 +1,320 @@
+"""Campaign engine unit tests: seeds, journals, supervision, merge.
+
+The crash/resume integration tests (SIGKILLed workers and supervisors,
+byte-identical resumed reports) live in ``test_campaign_resume.py``;
+this file covers the engine's pieces in isolation: the splittable seed
+scheme, the checksummed JSONL journal (torn tails vs corruption), the
+serial/fleet determinism contract, retry/backoff/quarantine policy and
+the ``render_fleet`` / empty-``render_injection`` report paths.
+"""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.campaign import (
+    DISP_COMPLETED,
+    DISP_FAILED,
+    DISP_QUARANTINED,
+    CampaignEngine,
+    named_seed,
+    split_seed,
+    task_rng,
+)
+from repro.common.errors import CampaignError, JournalIntegrityError
+from repro.core.journal import JournalWriter, journal_checksum, read_journal
+
+
+def echo_task(task):
+    return {"index": task.index, "shard": task.shard,
+            "seed": task.seed % 997}
+
+
+def payloads(n):
+    return [{"n": i} for i in range(n)]
+
+
+class TestSplittableSeeds:
+    def test_deterministic(self):
+        assert split_seed(1, 2, 3) == split_seed(1, 2, 3)
+        assert named_seed(1, "mcf") == named_seed(1, "mcf")
+
+    def test_coordinates_are_independent(self):
+        """Nearby (shard, index) pairs must not collide — the classic
+        failure of naive ``seed + shard * K + index`` schemes."""
+        seen = {split_seed(42, shard, index)
+                for shard in range(16) for index in range(64)}
+        assert len(seen) == 16 * 64
+
+    def test_campaign_seed_changes_everything(self):
+        assert split_seed(1, 0, 0) != split_seed(2, 0, 0)
+        assert named_seed(1, "mcf") != named_seed(2, "mcf")
+
+    def test_named_seed_is_order_free(self):
+        """A workload's seed depends on its name only, so reordering the
+        benchmark list cannot change any workload's draws."""
+        assert named_seed(7, "mcf") != named_seed(7, "bzip2")
+        # ... and is insensitive to what else is in the campaign: the
+        # function takes no positional context at all.
+
+    def test_task_rng_streams_are_reproducible(self):
+        a = task_rng(split_seed(5, 1, 2))
+        b = task_rng(split_seed(5, 1, 2))
+        assert [a.randrange(1000) for _ in range(8)] == \
+            [b.randrange(1000) for _ in range(8)]
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            for i in range(5):
+                assert writer.append({"v": i}) == i
+        assert read_journal(path) == [{"v": i} for i in range(5)]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        """A writer SIGKILLed mid-line leaves a torn tail: the records
+        before it must survive."""
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.append({"v": 0})
+            writer.append({"v": 1})
+        with open(path, "a") as f:
+            f.write('{"b": {"v": 2}, "q": 2, "x"')    # no newline, torn
+        assert read_journal(path) == [{"v": 0}, {"v": 1}]
+
+    def test_mid_file_garbage_is_integrity_error(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.append({"v": 0})
+            writer.append({"v": 1})
+        lines = open(path).read().splitlines(True)
+        lines[0] = "not json at all\n"
+        open(path, "w").writelines(lines)
+        with pytest.raises(JournalIntegrityError) as exc:
+            read_journal(path)
+        assert exc.value.kind == "journal_integrity"
+        assert exc.value.position == 0
+
+    def test_checksum_mismatch_is_integrity_error(self, tmp_path):
+        """A bit flipped in a stored record — valid JSON, wrong XXH3 —
+        is corruption even on the final line, never 'torn tail'."""
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.append({"v": 0})
+            writer.append({"v": 1})
+        lines = open(path).read().splitlines(True)
+        record = json.loads(lines[-1])
+        record["b"]["v"] = 999                        # storage rot
+        lines[-1] = json.dumps(record) + "\n"
+        open(path, "w").writelines(lines)
+        with pytest.raises(JournalIntegrityError) as exc:
+            read_journal(path)
+        assert exc.value.position == 1
+
+    def test_sequence_splice_is_integrity_error(self, tmp_path):
+        """A record carried over from another position re-checksums fine
+        but its seq betrays the splice."""
+        path = str(tmp_path / "j.jsonl")
+        with JournalWriter(path) as writer:
+            writer.append({"v": 0})
+            writer.append({"v": 1})
+            writer.append({"v": 2})
+        lines = open(path).read().splitlines(True)
+        lines[1] = lines[2]                           # duplicate seq 2 at 1
+        open(path, "w").writelines(lines[:3])
+        with pytest.raises(JournalIntegrityError):
+            read_journal(path)
+
+    def test_checksum_covers_sequence(self):
+        assert journal_checksum(0, {"v": 1}) != journal_checksum(1, {"v": 1})
+
+    def test_flush_cadence_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JournalWriter(str(tmp_path / "j"), flush_every_n=0)
+        with pytest.raises(ValueError):
+            JournalWriter(str(tmp_path / "j"), fsync_every_n=0)
+
+
+class TestEngineSerial:
+    def test_plan_is_round_robin_with_split_seeds(self):
+        engine = CampaignEngine(echo_task, payloads(7), campaign_seed=9,
+                                shards=3)
+        for g, task in enumerate(engine.tasks):
+            assert task.shard == g % 3
+            assert task.seed == split_seed(9, task.shard, task.index)
+        assert [t.task_id for t in engine.tasks][:4] == \
+            ["s0.t0", "s1.t0", "s2.t0", "s0.t1"]
+
+    def test_explicit_seeds_override(self):
+        engine = CampaignEngine(echo_task, payloads(3), seeds=[7, 8, 9])
+        assert [t.seed for t in engine.tasks] == [7, 8, 9]
+        with pytest.raises(CampaignError):
+            CampaignEngine(echo_task, payloads(3), seeds=[1])
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(CampaignError):
+            CampaignEngine(echo_task, payloads(1), shards=0)
+        with pytest.raises(CampaignError):
+            CampaignEngine(echo_task, payloads(1), max_task_attempts=0)
+
+    def test_serial_completes_in_plan_order(self):
+        result = CampaignEngine(echo_task, payloads(10), campaign_seed=1,
+                                shards=4).run()
+        assert [r.disposition for r in result.records] == \
+            [DISP_COMPLETED] * 10
+        assert [(r.shard, r.index) for r in result.records] == \
+            sorted((r.shard, r.index) for r in result.records)
+        assert result.registry.value("campaign.completed") == 10
+
+    def test_serial_retries_then_fails_typed(self):
+        calls = {"n": 0}
+
+        def flaky(task):
+            calls["n"] += 1
+            raise RuntimeError("always")
+
+        result = CampaignEngine(flaky, payloads(1), max_task_attempts=3).run()
+        assert calls["n"] == 3
+        record = result.records[0]
+        assert record.disposition == DISP_FAILED
+        assert record.attempts == 3
+        assert "always" in record.detail
+        assert result.registry.value("campaign.retries") == 2
+        assert result.registry.value("campaign.failed") == 1
+
+
+class TestEngineFleet:
+    def test_fleet_matches_serial_byte_for_byte(self):
+        def runs(workers):
+            result = CampaignEngine(echo_task, payloads(12),
+                                    campaign_seed=3, shards=4,
+                                    workers=workers).run()
+            return [(r.task_id, r.disposition, r.result)
+                    for r in result.records]
+        assert runs(0) == runs(3)
+
+    def test_poison_task_is_quarantined(self):
+        def poison(task):
+            if task.payload.get("kill"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return {"ok": task.index}
+
+        plan = payloads(5) + [{"kill": True}]
+        result = CampaignEngine(poison, plan, campaign_seed=2, shards=2,
+                                workers=2, max_task_attempts=2,
+                                backoff_base=0.01, backoff_cap=0.05).run()
+        quarantined = result.quarantined
+        assert len(quarantined) == 1
+        assert quarantined[0].attempts == 2
+        assert len(result.completed()) == 5
+        registry = result.registry
+        assert registry.value("campaign.quarantined") == 1
+        assert registry.value("campaign.worker_crashes") >= 2
+        assert registry.value("campaign.backoff_seconds") > 0
+
+    def test_in_task_exception_retried_across_respawn(self, tmp_path):
+        marker = tmp_path / "attempts"
+
+        def flaky(task):
+            if task.payload.get("flaky"):
+                n = int(marker.read_text()) if marker.exists() else 0
+                marker.write_text(str(n + 1))
+                if n == 0:
+                    raise RuntimeError("transient")
+            return {"ok": task.index}
+
+        result = CampaignEngine(flaky, payloads(3) + [{"flaky": True}],
+                                shards=2, workers=2, max_task_attempts=3,
+                                backoff_base=0.01, backoff_cap=0.05).run()
+        assert len(result.completed()) == 4
+        assert result.registry.value("campaign.retries") == 1
+
+
+class TestEngineJournal:
+    def test_journal_resume_skips_completed(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        baseline = CampaignEngine(echo_task, payloads(9), campaign_seed=4,
+                                  shards=3, journal_path=journal).run()
+        # Keep the header + 4 task records: a half-finished campaign.
+        lines = open(journal).read().splitlines(True)
+        open(journal, "w").writelines(lines[:5])
+        resumed = CampaignEngine(echo_task, payloads(9), campaign_seed=4,
+                                 shards=3, journal_path=journal,
+                                 resume=True).run()
+        assert resumed.resumed_tasks == 4
+        assert resumed.registry.value("campaign.resumed") == 4
+        assert [(r.task_id, r.result) for r in resumed.records] == \
+            [(r.task_id, r.result) for r in baseline.records]
+        # The journal is whole again and replays to the same records.
+        final = read_journal(journal)
+        assert len(final) == 1 + 9
+
+    def test_resume_tolerates_torn_tail(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        CampaignEngine(echo_task, payloads(6), campaign_seed=4,
+                       shards=2, journal_path=journal).run()
+        lines = open(journal).read().splitlines(True)
+        open(journal, "w").writelines(lines[:4])
+        with open(journal, "a") as f:
+            f.write('{"b": {"ty')               # crashed-writer residue
+        resumed = CampaignEngine(echo_task, payloads(6), campaign_seed=4,
+                                 shards=2, journal_path=journal,
+                                 resume=True).run()
+        assert resumed.resumed_tasks == 3
+        # The torn bytes were truncated before appending.
+        read_journal(journal)
+
+    def test_resume_refuses_shard_mismatch(self, tmp_path):
+        """Shard count is campaign identity: task seeds depend on it, so
+        resuming under a different sharding would merge records from two
+        different campaigns."""
+        journal = str(tmp_path / "j.jsonl")
+        CampaignEngine(echo_task, payloads(6), campaign_seed=4,
+                       shards=2, journal_path=journal).run()
+        with pytest.raises(CampaignError):
+            CampaignEngine(echo_task, payloads(6), campaign_seed=4,
+                           shards=3, journal_path=journal,
+                           resume=True).run()
+
+    def test_resume_refuses_corrupt_record(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        CampaignEngine(echo_task, payloads(4), campaign_seed=4,
+                       journal_path=journal).run()
+        lines = open(journal).read().splitlines(True)
+        record = json.loads(lines[2])
+        record["b"]["result"]["seed"] = -1      # rot a journaled result
+        lines[2] = json.dumps(record) + "\n"
+        open(journal, "w").writelines(lines)
+        with pytest.raises(JournalIntegrityError):
+            CampaignEngine(echo_task, payloads(4), campaign_seed=4,
+                           journal_path=journal, resume=True).run()
+
+
+class TestFleetReport:
+    def test_render_fleet_shapes(self):
+        from repro.harness.report import render_fleet
+        result = CampaignEngine(echo_task, payloads(8), campaign_seed=1,
+                                shards=2).run()
+        text = render_fleet(result)
+        lines = text.splitlines()
+        assert lines[0].split()[:3] == ["shard", "tasks", "done"]
+        assert any(line.startswith("all") for line in lines)
+        assert "counters:" in text
+        assert "8 records" in text
+
+    def test_render_injection_empty_campaign_renders_na(self):
+        """Regression: a campaign where every injection missed (total ==
+        0) must render placeholder cells, not a fake 0.0% distribution."""
+        from repro.faults import CampaignResult
+        from repro.harness.report import NA, render_injection
+        text = render_injection(
+            {"empty": CampaignResult(benchmark="empty", missed=4)})
+        row = [line for line in text.splitlines()
+               if line.startswith("empty")][0]
+        assert NA in row
+        assert "0.0%" not in row
+        assert row.rstrip().endswith("4")       # the missed column
+        assert "overall" not in text            # nothing to aggregate

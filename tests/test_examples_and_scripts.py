@@ -52,6 +52,12 @@ class TestExamples:
         assert "byte-identical" in result.stdout
         assert "OOM" in result.stdout
 
+    def test_campaign_demo(self):
+        result = run_example("campaign_demo.py", timeout=360)
+        assert result.returncode == 0, result.stderr
+        assert "resumed" in result.stdout
+        assert "byte-identical" in result.stdout
+
     def test_heterogeneous_scheduling(self):
         result = run_example("heterogeneous_scheduling.py", timeout=360)
         assert result.returncode == 0, result.stderr

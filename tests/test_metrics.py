@@ -143,6 +143,97 @@ def populated_registry():
     return reg
 
 
+class TestMergeAndSnapshot:
+    """Shard-aggregation semantics: counters sum, gauges last-write-wins
+    by virtual time, histograms add bucket-wise — plus the JSON snapshot
+    round-trip campaign journals use to ship a shard's registry."""
+
+    def test_counters_sum(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("seg", bench="x").inc(3)
+        b.counter("seg", bench="x").inc(4)
+        b.counter("other").inc(1)
+        a.merge(b)
+        assert a.value("seg", bench="x") == 7.0
+        assert a.value("other") == 1.0
+        assert b.value("seg", bench="x") == 4.0    # other side untouched
+
+    def test_gauges_take_last_write_by_virtual_time(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.gauge("pool").set(10.0)
+        a.sample(5.0)
+        b.gauge("pool").set(99.0)
+        b.sample(2.0)                              # older write
+        a.merge(b)
+        assert a.value("pool") == 10.0             # newest write wins
+        assert a.gauge("pool").series == [(2.0, 99.0), (5.0, 10.0)]
+        c = MetricRegistry()
+        c.gauge("pool").set(123.0)
+        c.sample(9.0)
+        a.merge(c)
+        assert a.value("pool") == 123.0
+
+    def test_unsampled_gauge_loses_to_sampled_but_still_merges(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.gauge("pool").set(10.0)
+        a.sample(1.0)
+        b.gauge("pool").set(99.0)                  # never sampled
+        a.merge(b)
+        assert a.value("pool") == 10.0
+        fresh = MetricRegistry()
+        fresh.merge(b)                             # both unsampled:
+        assert fresh.value("pool") == 99.0         # incoming wins
+
+    def test_histograms_add_bucketwise(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        for v in (0.5, 3.0):
+            a.histogram("lat", bounds=(1.0, 8.0)).observe(v)
+        for v in (5.0, 100.0):
+            b.histogram("lat", bounds=(1.0, 8.0)).observe(v)
+        a.merge(b)
+        h = a.histogram("lat", bounds=(1.0, 8.0))
+        assert h.count == 4
+        assert h.bucket_counts == [1, 2, 1]
+        assert h.sum == 108.5
+        assert h.max_observed == 100.0
+
+    def test_histogram_bounds_mismatch_raises(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.histogram("lat", bounds=(1.0,)).observe(0.5)
+        b.histogram("lat", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(MetricKindError):
+            a.merge(b)
+
+    def test_kind_conflict_raises_on_merge(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("x").inc()
+        b.gauge("x").set(1.0)
+        with pytest.raises(MetricKindError):
+            a.merge(b)
+
+    def test_snapshot_round_trip_is_exact(self):
+        reg = populated_registry()
+        reg.sample(3.25)
+        doc = json.loads(json.dumps(reg.to_snapshot()))  # via real JSON
+        back = MetricRegistry.from_snapshot(doc)
+        assert back.value("seg.checked") == 13.0
+        assert back.value("work.cycles", core="big") == 1.5e9 + 0.123
+        assert back.gauge("pool.bytes").series == [(3.25, 4096.75)]
+        assert back.gauge("pool.bytes").last_write == 3.25
+        h = back.histogram("compare.pages", bounds=(1.0, 8.0, 64.0))
+        assert h.bucket_counts == [1, 1, 1, 1]
+        assert h.sum == 112.0
+        # Snapshot of the rebuilt registry is identical: a fixed point.
+        assert back.to_snapshot() == reg.to_snapshot()
+
+    def test_merge_of_snapshot_equals_merge_of_original(self):
+        a1, a2 = MetricRegistry(), MetricRegistry()
+        b = populated_registry()
+        a1.merge(b)
+        a2.merge(MetricRegistry.from_snapshot(b.to_snapshot()))
+        assert a1.to_snapshot() == a2.to_snapshot()
+
+
 class TestExporters:
     def test_prometheus_round_trip_is_exact(self):
         reg = populated_registry()
