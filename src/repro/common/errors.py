@@ -66,6 +66,16 @@ class RuntimeConfigError(ReproError):
     """Invalid Parallaft/RAFT runtime configuration."""
 
 
+class ConfigError(RuntimeConfigError):
+    """A configuration value names something that does not exist.
+
+    Raised in particular for unknown detection-mode strings
+    (``--mode`` / ``run_protected(mode=...)``); the message lists the
+    registered modes so a typo fails loudly instead of silently falling
+    through to a default mode.
+    """
+
+
 class CampaignError(ReproError):
     """Invalid campaign-engine usage or an unrunnable campaign spec."""
 

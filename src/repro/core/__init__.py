@@ -3,7 +3,11 @@ parallelism — the paper's primary contribution.
 """
 
 from repro.core.checker_sched import CheckerScheduler
-from repro.core.comparator import ComparisonResult, StateComparator
+from repro.core.comparator import (
+    ComparisonResult,
+    StateComparator,
+    VoteResult,
+)
 from repro.core.config import (
     ComparisonStrategy,
     DirtyPageBackend,
@@ -27,7 +31,7 @@ from repro.core.rr_log import (
     SyscallRecord,
 )
 from repro.core.runtime import Parallaft, protect
-from repro.core.segment import Segment, SegmentStatus
+from repro.core.segment import Replica, Segment, SegmentStatus
 from repro.core.stats import DetectedError, RunStats
 
 __all__ = [
@@ -40,6 +44,7 @@ __all__ = [
     "ComparisonStrategy",
     "Segment",
     "SegmentStatus",
+    "Replica",
     "RunStats",
     "DetectedError",
     "ExecPoint",
@@ -54,6 +59,7 @@ __all__ = [
     "NondetRecord",
     "StateComparator",
     "ComparisonResult",
+    "VoteResult",
     "DirtyPageTracker",
     "CheckerScheduler",
 ]

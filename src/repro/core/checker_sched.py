@@ -48,39 +48,56 @@ class CheckerScheduler:
     # -- placement --------------------------------------------------------
 
     def submit(self, segment: Segment) -> None:
-        """A segment became READY: run its checker as soon as possible."""
+        """A segment became READY: run its checkers as soon as possible."""
         segment.status = SegmentStatus.CHECKING
         if not self._try_place(segment):
             self.pending.append(segment)
 
+    def _free_cores(self, cluster: str) -> List[Core]:
+        """Free cores in ``cluster``, most-behind first."""
+        free = [c for c in self.executor.cores
+                if c.cluster == cluster and c.occupant is None]
+        free.sort(key=lambda c: c.local_time)
+        return free
+
     def _try_place(self, segment: Segment) -> bool:
+        """Place every replica of ``segment`` at once, or not at all.
+
+        Multi-replica segments (TMR) need one core per replica; placing
+        a subset would let one replica race ahead only to park at the
+        end point holding its core while its sibling still queues.
+        """
+        need = max(1, len(segment.replicas))
         cluster = self.config.checker_cluster
-        core = self.executor.free_core(cluster)
-        if core is None and cluster == "little" and self.config.enable_migration:
-            if self._migrate_oldest_to_big():
-                core = self.executor.free_core(cluster)
-        if core is None and self.main_done and self.config.enable_migration:
+        free = self._free_cores(cluster)
+        while (len(free) < need and cluster == "little"
+               and self.config.enable_migration
+               and self._migrate_oldest_to_big()):
+            free = self._free_cores(cluster)
+        if len(free) < need and self.main_done and self.config.enable_migration:
             # Tail phase: any core will do (big preferred: finish quickly).
-            core = (self.executor.free_core("big")
-                    or self.executor.free_core("little"))
-        if core is None:
+            free = self._free_cores("big") + self._free_cores("little")
+        if len(free) < need:
             return False
-        self._start_on(segment, core)
+        self._start_on(segment, free[:need])
         return True
 
-    def _start_on(self, segment: Segment, core: Core) -> None:
-        checker = segment.checker
-        self.executor.assign(checker, core)
-        checker.state = ProcessState.RUNNING
-        checker.ready_time = max(checker.ready_time,
-                                 self.executor.current_time)
-        segment.check_started_time = self.executor.current_time
-        segment.checker_user_cycles_at_start = checker.user_cycles
-        self.running.append(segment)
+    def _start_on(self, segment: Segment, cores: List[Core]) -> None:
+        segment.checker_user_cycles_at_start = 0.0
         trace = self.executor.trace
-        if trace.enabled:
-            trace.emit(tev.CHECKER_PLACE, pid=checker.pid, role="checker",
-                       core=core_label(core), segment=segment.index)
+        for replica, core in zip(segment.replicas, cores):
+            checker = replica.process
+            self.executor.assign(checker, core)
+            checker.state = ProcessState.RUNNING
+            checker.ready_time = max(checker.ready_time,
+                                     self.executor.current_time)
+            segment.checker_user_cycles_at_start += checker.user_cycles
+            if trace.enabled:
+                trace.emit(tev.CHECKER_PLACE, pid=checker.pid,
+                           role="checker", core=core_label(core),
+                           segment=segment.index)
+        segment.check_started_time = self.executor.current_time
+        self.running.append(segment)
 
     def _migrate_oldest_to_big(self) -> bool:
         """Free a little core by moving the oldest checker to a big core
@@ -88,17 +105,19 @@ class CheckerScheduler:
         big = self.executor.free_core("big")
         if big is None:
             return False
-        on_little = [s for s in self.running
-                     if s.checker is not None and s.checker.core is not None
-                     and not s.checker.core.is_big]
+        on_little = [(s, r.process) for s in self.running
+                     for r in s.replicas
+                     if r.process is not None and r.process.core is not None
+                     and not r.process.core.is_big]
         if not on_little:
             return False
-        oldest = min(on_little, key=lambda s: s.index)
-        self.migrate(oldest, big)
+        oldest, proc = min(on_little, key=lambda sr: sr[0].index)
+        self.migrate(oldest, big, proc)
         return True
 
-    def migrate(self, segment: Segment, core: Core) -> None:
-        checker = segment.checker
+    def migrate(self, segment: Segment, core: Core,
+                proc: Optional[Process] = None) -> None:
+        checker = proc if proc is not None else segment.checker
         self.executor.assign(checker, core)
         self.executor.charge(checker, MIGRATION_COST_CYCLES,
                              phase=mph.RUNTIME)
@@ -114,8 +133,10 @@ class CheckerScheduler:
     def on_checker_done(self, segment: Segment) -> None:
         if segment in self.running:
             self.running.remove(segment)
-        checker = segment.checker
-        if checker is not None:
+        for replica in segment.replicas:
+            checker = replica.process
+            if checker is None:
+                continue
             if checker.core is not None and checker.core.is_big:
                 self.stats.checkers_finished_on_big += 1
             self.executor.unassign(checker)
@@ -130,15 +151,15 @@ class CheckerScheduler:
             core.set_frequency(core.freq_max_hz)
         if self.config.enable_migration:
             for segment in sorted(self.running, key=lambda s: s.index):
-                checker = segment.checker
-                if checker is None or checker.core is None:
-                    continue
-                if checker.core.is_big:
-                    continue
-                big = self.executor.free_core("big")
-                if big is None:
-                    break
-                self.migrate(segment, big)
+                for replica in segment.replicas:
+                    checker = replica.process
+                    if checker is None or checker.core is None \
+                            or checker.core.is_big:
+                        continue
+                    big = self.executor.free_core("big")
+                    if big is None:
+                        break
+                    self.migrate(segment, big, checker)
         while self.pending and self._try_place(self.pending[0]):
             self.pending.pop(0)
 
@@ -146,9 +167,10 @@ class CheckerScheduler:
 
     def _update_pacer(self, segment: Segment) -> None:
         if (not self.config.enable_dvfs_pacer or self.main_done
-                or segment.checker is None):
+                or not segment.replicas):
             return
-        work_cycles = (segment.checker.user_cycles
+        work_cycles = (sum(r.process.user_cycles for r in segment.replicas
+                           if r.process is not None)
                        - segment.checker_user_cycles_at_start)
         interval = None
         if segment.ready_time is not None:

@@ -72,6 +72,52 @@ class ComparisonResult:
         return self.reason
 
 
+class VoteResult:
+    """Outcome of a TMR majority vote over {main checkpoint, replicas}.
+
+    ``quorum`` is the size of the largest agreeing set (3 = unanimous,
+    2 = majority with one loser, 1 = all disagree → fail-stop).  When the
+    *main* is outvoted, ``winner_index`` names the replica whose state is
+    the majority (forward recovery adopts it); ``loser_replicas`` lists
+    outvoted replica indices.  ``results`` holds the per-replica
+    comparisons against the checkpoint and ``cross_result`` the
+    replica-vs-replica tie-break compare (run only when every replica
+    disagreed with the main).
+    """
+
+    __slots__ = ("quorum", "main_outvoted", "winner_index",
+                 "loser_replicas", "results", "cross_result")
+
+    def __init__(self, quorum: int, main_outvoted: bool = False,
+                 winner_index: Optional[int] = None,
+                 loser_replicas: Optional[List[int]] = None,
+                 results: Optional[List[ComparisonResult]] = None,
+                 cross_result: Optional[ComparisonResult] = None):
+        self.quorum = quorum
+        self.main_outvoted = main_outvoted
+        self.winner_index = winner_index
+        self.loser_replicas = loser_replicas or []
+        self.results = results or []
+        self.cross_result = cross_result
+
+    @property
+    def unanimous(self) -> bool:
+        return not self.loser_replicas and not self.main_outvoted \
+            and self.quorum >= 2
+
+    @property
+    def bytes_hashed(self) -> int:
+        total = sum(r.bytes_hashed for r in self.results)
+        if self.cross_result is not None:
+            total += self.cross_result.bytes_hashed
+        return total
+
+    def __repr__(self) -> str:
+        return (f"VoteResult(quorum={self.quorum}, "
+                f"main_outvoted={self.main_outvoted}, "
+                f"losers={self.loser_replicas})")
+
+
 class StateComparator:
     def __init__(self, strategy: ComparisonStrategy, page_size: int,
                  redundant: bool = False):
@@ -110,6 +156,45 @@ class StateComparator:
             if not result.match:
                 self.metrics.counter("comparator.mismatches").inc()
         return result
+
+    def vote(self, replicas: List[Process], checkpoint: Process,
+             dirty_vpns: Optional[Set[int]] = None,
+             results: Optional[List[ComparisonResult]] = None) -> VoteResult:
+        """TMR majority vote (Elzar, PAPERS.md) at a segment boundary.
+
+        The voters are the main's end checkpoint plus every replica;
+        each replica is compared pairwise against the checkpoint (or the
+        caller passes precomputed ``results`` — the MEEK split path
+        combines an early and a late stage per replica).  Majority wins:
+
+        * every replica matches the checkpoint → unanimous;
+        * some replicas match → the mismatching ones are outvoted
+          (quorum = 1 + matching replicas);
+        * *no* replica matches and the replicas agree *with each other*
+          → the main itself is outvoted (quorum 2) and ``winner_index``
+          names the replica whose state forward recovery adopts;
+        * all three states differ → quorum 1, no majority exists: the
+          caller must fail-stop (adopting any state would be a guess).
+        """
+        if results is None:
+            results = [self.compare(r, checkpoint, dirty_vpns)
+                       for r in replicas]
+        matching = [i for i, r in enumerate(results) if r.match]
+        losers = [i for i, r in enumerate(results) if not r.match]
+        if matching:
+            return VoteResult(quorum=1 + len(matching),
+                              loser_replicas=losers, results=results)
+        if len(replicas) < 2:
+            # Degraded vote (a replica was already outvoted mid-replay):
+            # two states, two opinions — no majority possible.
+            return VoteResult(quorum=1, loser_replicas=losers,
+                              results=results)
+        cross = self.compare(replicas[0], replicas[1], dirty_vpns)
+        if cross.match:
+            return VoteResult(quorum=2, main_outvoted=True, winner_index=0,
+                              results=results, cross_result=cross)
+        return VoteResult(quorum=1, loser_replicas=losers, results=results,
+                          cross_result=cross)
 
     def _compare(self, checker: Process, checkpoint: Process,
                  dirty_vpns: Optional[Set[int]] = None) -> ComparisonResult:

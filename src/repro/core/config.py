@@ -23,6 +23,10 @@ from repro.common.units import BILLION
 class RuntimeMode(enum.Enum):
     PARALLAFT = "parallaft"
     RAFT = "raft"
+    #: Elzar-style triple modular redundancy: the main plus two checker
+    #: replicas per segment, a 3-way majority vote at segment boundaries
+    #: and forward recovery (adopt the majority state, never roll back).
+    TMR = "tmr"
 
 
 class DirtyPageBackend(enum.Enum):
@@ -70,6 +74,14 @@ class ParallaftConfig:
     comparison: ComparisonStrategy = ComparisonStrategy.DIRTY_HASH
     #: Compare registers+memory at segment ends (off in RAFT mode).
     compare_state: bool = True
+    #: MEEK-style tunable checker split (MEEK, PAPERS.md): the fraction
+    #: of the dirty-page union checked *early*, when a replica arrives at
+    #: its end point (PC + registers + the first ``ceil(split * n)``
+    #: pages of the sorted union); the boundary compare covers only the
+    #: remaining ``1 - split`` fraction.  Work is divided, never
+    #: duplicated — total pages hashed per boundary is invariant in the
+    #: knob.  0.0 (default) keeps the whole check at the boundary.
+    meek_split: float = 0.0
 
     #: Checker scheduler/pacer (paper §4.5).
     enable_migration: bool = True
@@ -115,6 +127,12 @@ class ParallaftConfig:
     #: (period / 2**streak) to shrink the re-exposed window, down to at
     #: most this many halvings.
     recovery_shrink_limit: int = 4
+
+    #: TMR only: forward recoveries (main outvoted, majority state
+    #: adopted) allowed across the run before the runtime fail-stops —
+    #: the analogue of ``max_rollbacks`` for a mode that never rolls
+    #: back.
+    max_forward_recoveries: int = 8
 
     #: Table 2 "error containment in SoR": hold the main at every
     #: globally-effectful syscall until all previous segments have been
@@ -229,6 +247,27 @@ class ParallaftConfig:
         if self.enable_recovery and not self.compare_state:
             raise RuntimeConfigError(
                 "recovery requires state comparison (compare_state)")
+        if self.mode is RuntimeMode.TMR:
+            if not self.compare_state:
+                raise RuntimeConfigError(
+                    "TMR votes over boundary state; compare_state must "
+                    "stay enabled")
+            if self.enable_recovery:
+                raise RuntimeConfigError(
+                    "TMR recovers forward (majority adoption); rollback "
+                    "recovery (enable_recovery) is incompatible")
+            if self.retry_failed_checkers:
+                raise RuntimeConfigError(
+                    "TMR absorbs single-replica faults by outvoting them; "
+                    "retry_failed_checkers is incompatible")
+        if not 0.0 <= self.meek_split <= 1.0:
+            raise RuntimeConfigError("meek_split must be in [0, 1]")
+        if self.meek_split > 0.0 and not self.compare_state:
+            raise RuntimeConfigError(
+                "meek_split divides the state check; it needs "
+                "compare_state enabled")
+        if self.max_forward_recoveries < 0:
+            raise RuntimeConfigError("max_forward_recoveries must be >= 0")
         if self.trace_capacity < 1:
             raise RuntimeConfigError("trace_capacity must be >= 1")
         if self.metrics_sample_interval is not None \
@@ -264,7 +303,14 @@ class ParallaftConfig:
         time, so a bare config object never retains."""
         return (self.retry_failed_checkers or self.enable_recovery
                 or (self.mem_budget_bytes is not None
-                    and self.mode is RuntimeMode.PARALLAFT))
+                    and self.mode is not RuntimeMode.RAFT))
+
+    def detection_mode(self):
+        """Resolve this config's :class:`~repro.modes.DetectionMode`
+        policy object from the mode registry (lazy import: the registry
+        imports this module for the mode factories)."""
+        from repro.modes import get_mode
+        return get_mode(self.mode.value)
 
     @classmethod
     def raft(cls) -> "ParallaftConfig":
@@ -278,3 +324,10 @@ class ParallaftConfig:
             enable_dvfs_pacer=False,
             checker_cluster="big",
         )
+
+    @classmethod
+    def tmr(cls) -> "ParallaftConfig":
+        """Elzar-style TMR (PAPERS.md): the Parallaft segment pipeline
+        with two checker replicas per segment, a 3-way majority vote at
+        each boundary, and forward recovery instead of rollback."""
+        return cls(mode=RuntimeMode.TMR)

@@ -219,25 +219,28 @@ class PressureController:
         current = rt.executor.current_proc
         candidates = [
             s for s in rt.sched.running
-            if s.checker is not None and s.checker.alive
-            and s.checker is not current
+            if s.live_replicas()
+            and all(r.process is not current for r in s.replicas)
             and s.recovery_checkpoint is not None
             and not s.checkpoint_evicted
             and s.sheds < self.config.pressure_max_segment_sheds]
         if not candidates:
             return False
         segment = max(candidates, key=lambda s: s.index)
-        checker = segment.checker
         before = self.pool.resident_bytes
-        rt.segment_of_checker.pop(checker.pid, None)
-        rt._stalled_checkers.discard(checker.pid)
-        self._blocked.pop(checker.pid, None)
-        if checker.alive:
-            rt.kernel.exit_process(checker, 128 + abi.SIGKILL)
-        rt.kernel.reap(checker)
+        # Shed the whole replica set: a respawn re-forks every replica
+        # from the retained checkpoint, so keeping a subset would only
+        # hold memory without ever producing a vote.
+        for replica in segment.replicas:
+            checker = replica.process
+            rt.segment_of_checker.pop(checker.pid, None)
+            rt._stalled_checkers.discard(checker.pid)
+            self._blocked.pop(checker.pid, None)
+            if checker.alive:
+                rt.kernel.exit_process(checker, 128 + abi.SIGKILL)
+            rt.kernel.reap(checker)
         rt.sched.on_checker_done(segment)
         segment.checker = None
-        segment.replayer = None
         segment.sheds += 1
         segment.status = SegmentStatus.READY
         self._parked.append(segment)

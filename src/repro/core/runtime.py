@@ -18,6 +18,7 @@ on a big core with no state comparison.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -96,6 +97,10 @@ class Parallaft(Tracer):
                 self.config = dataclasses.replace(
                     self.config, mem_budget_bytes=env_budget)
         self.config.validate()
+        #: The detection-mode policy object (repro.modes): replica count,
+        #: submit timing, boundary compare/vote and error absorption all
+        #: dispatch through it instead of string-comparing mode names.
+        self.mode = self.config.detection_mode()
         self.kernel = kernel or Kernel(page_size=self.platform.page_size,
                                        seed=seed)
         self.kernel.counters.instr_overcount_max = \
@@ -323,10 +328,19 @@ class Parallaft(Tracer):
         # Program the branch counter for execution-point recording (§4.2.1).
         self.executor.charge(main, self.kernel.costs.perf_setup_cycles,
                              phase=mph.RUNTIME)
-        if self.config.mode == RuntimeMode.RAFT:
-            # RAFT's checker runs concurrently from the very start,
-            # consuming the log as it is recorded.
-            self.sched.submit(segment)
+        for n in range(1, self.mode.replica_count):
+            # Extra checker replicas (TMR): independent paused forks of
+            # the same segment-start state, each a voter at the boundary.
+            extra, extra_cost = self.kernel.fork(
+                main, name=f"checker-{segment.index}r{n}", paused=True)
+            self.executor.charge(main, extra_cost,
+                                 phase=mph.CHECKPOINT_FORK)
+            self.roles[extra.pid] = "checker"
+            self.segment_of_checker[extra.pid] = segment
+            segment.add_replica(extra)
+        # RAFT submits here so its checker runs concurrently from the
+        # very start, consuming the log as it is recorded.
+        self.mode.on_segment_start(self, segment)
 
     def _finalize_segment(self, end_is_main_exit: bool = False) -> None:
         """Close the recording segment at the main's current stop point."""
@@ -367,41 +381,47 @@ class Parallaft(Tracer):
             self.recovery.note_boundary()
 
     def _release_segment(self, segment: Segment) -> None:
-        """Arm the checker's replay to the recorded end point and start it."""
-        checker = segment.checker
-        stops = list(segment.signal_stops)
-        stops.append(ReplayStop(segment.end_point,
-                                ReplayStopKind.SEGMENT_END))
-        segment.replayer = ExecPointReplayer(
-            checker, stops, self.config.skid_buffer_branches,
-            self.config.exec_point_counter,
-            branch_base=segment.start_branches,
-            instr_base=segment.start_instructions)
-        # 1.1x instruction timeout (paper §4.2.2): kills checkers whose
-        # control flow was corrupted into never reaching the end point.
-        if self.config.exec_point_counter == ExecPointCounter.BRANCHES:
-            timeout = (segment.start_instructions
-                       + int(segment.main_instructions
-                             * self.config.checker_timeout_scale) + 64)
-            checker.cpu.arm_instr_overflow(timeout)
-        self._emit(tev.SEGMENT_RELEASE, proc=checker, segment=segment.index)
-        if self.config.log_checksums and len(segment.log):
-            # Marker: this replay verifies N checksummed records; failures
-            # surface as INTEGRITY_FAIL at the consuming site.
-            self._emit(tev.INTEGRITY_CHECK, proc=checker,
-                       segment=segment.index, check="log",
-                       records=len(segment.log))
-        if self.config.mode != RuntimeMode.RAFT:
-            self.sched.submit(segment)
-        segment.replayer.arm_next()
-        # The checker may still be queued for a core: park the setup cost
-        # until the scheduler places it.
-        self.executor.charge_deferred(
-            checker, self.kernel.costs.perf_setup_cycles
-            + self.kernel.costs.breakpoint_setup_cycles,
-            phase=mph.RUNTIME)
-        if checker.state == ProcessState.WAITING:
-            self._wake_checker(checker)
+        """Arm every replica's replay to the recorded end point."""
+        for replica in segment.replicas:
+            checker = replica.process
+            # Each replica consumes the shared stop list through its own
+            # replayer (private copy: arming is stateful per replica).
+            stops = list(segment.signal_stops)
+            stops.append(ReplayStop(segment.end_point,
+                                    ReplayStopKind.SEGMENT_END))
+            replica.replayer = ExecPointReplayer(
+                checker, stops, self.config.skid_buffer_branches,
+                self.config.exec_point_counter,
+                branch_base=segment.start_branches,
+                instr_base=segment.start_instructions)
+            # 1.1x instruction timeout (paper §4.2.2): kills checkers whose
+            # control flow was corrupted into never reaching the end point.
+            if self.config.exec_point_counter == ExecPointCounter.BRANCHES:
+                timeout = (segment.start_instructions
+                           + int(segment.main_instructions
+                                 * self.config.checker_timeout_scale) + 64)
+                checker.cpu.arm_instr_overflow(timeout)
+            self._emit(tev.SEGMENT_RELEASE, proc=checker,
+                       segment=segment.index)
+            if self.config.log_checksums and len(segment.log):
+                # Marker: this replay verifies N checksummed records;
+                # failures surface as INTEGRITY_FAIL at the consuming site.
+                self._emit(tev.INTEGRITY_CHECK, proc=checker,
+                           segment=segment.index, check="log",
+                           records=len(segment.log))
+            replica.replayer.arm_next()
+            # The checker may still be queued for a core: park the setup
+            # cost until the scheduler places it.
+            self.executor.charge_deferred(
+                checker, self.kernel.costs.perf_setup_cycles
+                + self.kernel.costs.breakpoint_setup_cycles,
+                phase=mph.RUNTIME)
+        # Non-concurrent modes submit to the checker scheduler here.
+        self.mode.on_segment_release(self, segment)
+        for replica in segment.replicas:
+            if replica.process.state == ProcessState.WAITING \
+                    and not replica.reached_end:
+                self._wake_checker(replica.process)
 
     def _boundary(self) -> None:
         """A slicing boundary: finalize the recording segment, start the
@@ -440,9 +460,10 @@ class Parallaft(Tracer):
                    reason="record_starvation")
 
     def _record_appended(self, segment: Segment) -> None:
-        checker = segment.checker
-        if checker is not None and checker.pid in self._stalled_checkers:
-            self._wake_checker(checker)
+        for replica in segment.replicas:
+            proc = replica.process
+            if proc is not None and proc.pid in self._stalled_checkers:
+                self._wake_checker(proc)
 
     def _drain_signal_records(self, checker: Process) -> None:
         """Inject record-stream signals the main raised against itself.
@@ -457,16 +478,19 @@ class Parallaft(Tracer):
         segment = self.segment_of_checker.get(checker.pid)
         if segment is None or not checker.alive:
             return
+        replica = segment.replica_of(checker.pid)
+        if replica is None:
+            return
         while True:
-            record = segment.cursor.peek()
+            record = replica.cursor.peek()
             if (record is None or record.kind != "signal" or record.external
                     or record.signo not in checker.signal_handlers):
                 return
-            problem = self._log_record_problem(segment)
+            problem = self._log_record_problem(replica)
             if problem is not None:
                 self._report_log_integrity(segment, problem)
                 return
-            segment.cursor.next()
+            replica.cursor.next()
             self.kernel.deliver_signal_now(checker, record.signo)
 
     # --------------------------------------------------------- integrity checks
@@ -512,16 +536,17 @@ class Parallaft(Tracer):
                 f"its fork-time integrity digest")
         return ok
 
-    def _log_record_problem(self, segment: Segment) -> Optional[str]:
-        """Verify the record the cursor is about to consume; returns a
-        violation description, or None when intact / verification is off."""
+    def _log_record_problem(self, replica) -> Optional[str]:
+        """Verify the record the replica's cursor is about to consume;
+        returns a violation description, or None when intact /
+        verification is off."""
         if not self.config.log_checksums:
             return None
-        record = segment.cursor.peek()
+        record = replica.cursor.peek()
         if record is None:
             return None
         self.stats.integrity_checks += 1
-        return verify_record(record, segment.cursor.position)
+        return verify_record(record, replica.cursor.position)
 
     def _report_log_integrity(self, segment: Segment, problem: str) -> None:
         """A record failed verification at replay: the log *copy* is
@@ -533,7 +558,15 @@ class Parallaft(Tracer):
     # ------------------------------------------------------------- error handling
 
     def _report_error(self, kind: str, segment: Optional[Segment],
-                      detail: str = "") -> None:
+                      detail: str = "",
+                      proc: Optional[Process] = None) -> None:
+        if segment is not None and proc is not None:
+            # A single replica failed mid-replay: give the detection mode
+            # first refusal (TMR outvotes it while a majority remains).
+            replica = segment.replica_of(proc.pid)
+            if replica is not None and self.mode.absorb_replica_error(
+                    self, segment, replica, kind, detail):
+                return
         # A recovery-watchdog trip means recovery itself failed; an
         # infra_integrity error means saved state (or the comparator) is
         # untrusted.  Neither re-checking nor a rollback may absorb them.
@@ -589,8 +622,8 @@ class Parallaft(Tracer):
         if segment is not None:
             segment.status = SegmentStatus.FAILED
             self._emit(tev.SEGMENT_FAILED, segment=segment.index, error=kind)
-            if segment.checker is not None and segment.checker.alive:
-                self.kernel.exit_process(segment.checker, 1)
+            for replica in segment.live_replicas():
+                self.kernel.exit_process(replica.process, 1)
             self.sched.on_checker_done(segment)
         # The FAILED segment left the live set without ever retiring, so
         # this is a wake point for a stalled main: both the cap stall and
@@ -617,18 +650,49 @@ class Parallaft(Tracer):
         self.stats.checker_retries += 1
         if self.config.enable_recovery:
             self.stats.recovery_retries += 1
-        old = segment.checker
-        if old is not None:
-            # Detach before killing so the exit hook does not re-enter the
-            # error path for the checker we are deliberately discarding.
-            self.segment_of_checker.pop(old.pid, None)
-            if old.alive:
-                self.kernel.exit_process(old, 1)
-            self.kernel.reap(old)
+        self._teardown_replicas(segment)
         self.sched.on_checker_done(segment)
+        segment.checker = None
         self._respawn_checker(
             segment, f"checker-{segment.index}-retry{segment.retries}",
             cause=kind)
+
+    def _teardown_replicas(self, segment: Segment,
+                           exit_code: int = 1) -> None:
+        """Detach, kill and reap every checker replica of ``segment``.
+
+        Detaching (``segment_of_checker``) comes first so the exit hook
+        does not re-enter the error path for checkers we are deliberately
+        discarding.  The caller runs ``sched.on_checker_done`` (which
+        releases the replicas' cores) and then clears ``segment.checker``.
+        """
+        for replica in segment.replicas:
+            proc = replica.process
+            if proc is None:
+                continue
+            self.segment_of_checker.pop(proc.pid, None)
+            self._stalled_checkers.discard(proc.pid)
+            if proc.alive:
+                self.kernel.exit_process(proc, exit_code)
+            self.kernel.reap(proc)
+
+    def _discard_replica(self, segment: Segment, replica) -> None:
+        """Remove one outvoted replica (TMR absorption): the segment
+        lives on with the surviving voters."""
+        proc = replica.process
+        if proc is not None:
+            self.segment_of_checker.pop(proc.pid, None)
+            self._stalled_checkers.discard(proc.pid)
+            # Count its work as checker time now — it will never retire.
+            self.stats.checker_user_time += proc.user_time
+            self.stats.checker_sys_time += proc.sys_time
+            self.stats.checker_cycles_big += proc.cycles_big
+            self.stats.checker_cycles_little += proc.cycles_little
+            if proc.alive:
+                self.kernel.exit_process(proc, 1)
+            self.executor.unassign(proc)
+            self.kernel.reap(proc)
+        segment.replicas.remove(replica)
 
     def _respawn_checker(self, segment: Segment, name: str,
                          cause: str) -> None:
@@ -636,19 +700,27 @@ class Parallaft(Tracer):
         segment-start checkpoint and re-release it (shared by the retry
         path and the pressure controller's shed/re-queue path)."""
         source = segment.recovery_checkpoint
+        segment.checker = None   # drop any stale replica state
         fresh, cost = self.kernel.fork(source, name=name, paused=True)
         # This work happens off the main's critical path; charge the new
         # checker once it lands on a core.
         self.roles[fresh.pid] = "checker"
         self.segment_of_checker[fresh.pid] = segment
-        segment.checker = fresh
-        segment.cursor = segment.log.cursor()
+        segment.checker = fresh   # fresh Replica with a fresh log cursor
+        self.executor.charge_deferred(fresh, cost,
+                                      phase=mph.CHECKPOINT_FORK)
+        for n in range(1, self.mode.replica_count):
+            extra, extra_cost = self.kernel.fork(
+                source, name=f"{name}r{n}", paused=True)
+            self.roles[extra.pid] = "checker"
+            self.segment_of_checker[extra.pid] = segment
+            segment.add_replica(extra)
+            self.executor.charge_deferred(extra, extra_cost,
+                                          phase=mph.CHECKPOINT_FORK)
         segment.status = SegmentStatus.READY
         self._emit(tev.CHECKER_RETRY, proc=fresh, segment=segment.index,
                    retry=segment.retries, cause=cause)
         self._release_segment(segment)
-        self.executor.charge_deferred(fresh, cost,
-                                      phase=mph.CHECKPOINT_FORK)
 
     def _terminate_application(self) -> None:
         """An error was detected: terminate the application (paper §4.4)."""
@@ -796,9 +868,10 @@ class Parallaft(Tracer):
                                args: Tuple[int, ...]
                                ) -> Optional[SyscallAction]:
         segment = self.segment_of_checker.get(proc.pid)
-        if segment is None:
+        replica = segment.replica_of(proc.pid) if segment is not None else None
+        if segment is None or replica is None:
             return None
-        record = segment.cursor.peek()
+        record = replica.cursor.peek()
         if record is None:
             if segment.end_point is None:
                 # RAFT-style concurrency: the checker caught up with the
@@ -806,9 +879,10 @@ class Parallaft(Tracer):
                 self._stall_checker(proc)
                 return SyscallAction.emulate(0)
             self._report_error("syscall_divergence", segment,
-                               f"checker issued extra syscall {sysno}")
+                               f"checker issued extra syscall {sysno}",
+                               proc=proc)
             return SyscallAction.emulate(-abi.ENOSYS)
-        problem = self._log_record_problem(segment)
+        problem = self._log_record_problem(replica)
         if problem is not None:
             # Verify *before* the kind/args checks: a corrupted record
             # must surface as a log fault, not as a bogus app divergence.
@@ -817,12 +891,13 @@ class Parallaft(Tracer):
         if record.kind != "syscall":
             self._report_error("syscall_divergence", segment,
                                f"expected {record.kind} record, checker "
-                               f"issued syscall {sysno}")
+                               f"issued syscall {sysno}", proc=proc)
             return SyscallAction.emulate(-abi.ENOSYS)
         if record.sysno != sysno or record.args != args:
             self._report_error(
                 "syscall_divergence", segment,
-                f"main {record.sysno}{record.args} vs checker {sysno}{args}")
+                f"main {record.sysno}{record.args} vs checker {sysno}{args}",
+                proc=proc)
             return SyscallAction.emulate(-abi.ENOSYS)
         region = syscall_model.input_region(sysno, args)
         if region is not None:
@@ -834,9 +909,10 @@ class Parallaft(Tracer):
             self._charge_record_bytes(proc, length)
             if checker_data != record.input_data:
                 self._report_error("syscall_divergence", segment,
-                                   f"syscall {sysno} data mismatch")
+                                   f"syscall {sysno} data mismatch",
+                                   proc=proc)
                 return SyscallAction.emulate(-abi.ENOSYS)
-        segment.cursor.next()
+        replica.cursor.next()
         self.stats.syscalls_replayed += 1
         self._emit(tev.SYSCALL_REPLAY, proc=proc, segment=segment.index,
                    sysno=sysno)
@@ -852,7 +928,8 @@ class Parallaft(Tracer):
                                      force=True)
             except Exception:
                 self._report_error("syscall_divergence", segment,
-                                   "replay target memory unmapped")
+                                   "replay target memory unmapped",
+                                   proc=proc)
                 return SyscallAction.emulate(-abi.ENOSYS)
         return SyscallAction.emulate(record.result)
 
@@ -870,17 +947,19 @@ class Parallaft(Tracer):
             proc.cpu.disarm_branch_overflow()
             return
         segment = self.segment_of_checker.get(proc.pid)
-        if segment is None or segment.replayer is None:
+        replica = segment.replica_of(proc.pid) if segment is not None else None
+        if segment is None or replica is None or replica.replayer is None:
             proc.cpu.disarm_branch_overflow()
             proc.cpu.disarm_instr_overflow()
             return
-        replayer = segment.replayer
+        replayer = replica.replayer
         if reason == StopReason.INSTR_OVERFLOW:
             if self.config.exec_point_counter == ExecPointCounter.BRANCHES:
                 # 1.1x budget exceeded: control-flow corruption (paper
                 # §4.2.2 "Handling Timeout").
                 self._report_error("timeout", segment,
-                                   "checker exceeded instruction budget")
+                                   "checker exceeded instruction budget",
+                                   proc=proc)
                 return
             outcome = replayer.on_overflow()
         elif reason == StopReason.COUNTER_OVERFLOW:
@@ -894,7 +973,8 @@ class Parallaft(Tracer):
             return
         if outcome == ReplayOutcome.OVERRUN:
             self._report_error("exec_point_overrun", segment,
-                               "checker ran past the recorded branch count")
+                               "checker ran past the recorded branch count",
+                               proc=proc)
             return
         if outcome == ReplayOutcome.REACHED:
             finished_index = replayer.index - 1
@@ -905,7 +985,7 @@ class Parallaft(Tracer):
                 self.kernel.deliver_signal_now(proc, reached.signo)
                 replayer.arm_next()
             else:
-                self._complete_segment_check(segment)
+                self._replica_reached_end(segment, replica)
 
     def _handle_nondet(self, proc: Process, role: Optional[str]) -> None:
         pc = proc.cpu.pc
@@ -927,14 +1007,16 @@ class Parallaft(Tracer):
             return
         if role == "checker":
             segment = self.segment_of_checker.get(proc.pid)
-            if segment is None:
+            replica = (segment.replica_of(proc.pid)
+                       if segment is not None else None)
+            if segment is None or replica is None:
                 return
-            record = segment.cursor.peek()
+            record = replica.cursor.peek()
             if record is None and segment.end_point is None:
                 self._stall_checker(proc)
                 return
             if record is not None:
-                problem = self._log_record_problem(segment)
+                problem = self._log_record_problem(replica)
                 if problem is not None:
                     self._report_log_integrity(segment, problem)
                     return
@@ -942,9 +1024,9 @@ class Parallaft(Tracer):
                     or record.pc != pc):
                 self._report_error(
                     "syscall_divergence", segment,
-                    f"nondet replay mismatch at pc={pc:#x}")
+                    f"nondet replay mismatch at pc={pc:#x}", proc=proc)
                 return
-            segment.cursor.next()
+            replica.cursor.next()
             self._apply_nondet(proc, instr, record.value)
 
     def _native_nondet_value(self, proc: Process, instr: I.Instr) -> int:
@@ -992,35 +1074,43 @@ class Parallaft(Tracer):
             return True
         if role == "checker":
             segment = self.segment_of_checker.get(proc.pid)
-            if segment is None:
+            replica = (segment.replica_of(proc.pid)
+                       if segment is not None else None)
+            if segment is None or replica is None:
                 return True
-            record = segment.cursor.peek()
+            record = replica.cursor.peek()
             if record is not None:
-                problem = self._log_record_problem(segment)
+                problem = self._log_record_problem(replica)
                 if problem is not None:
                     self._report_log_integrity(segment, problem)
                     return False
             if (record is not None and record.kind == "signal"
                     and record.signo == signo):
                 # The checker reproduced the main's own (internal) signal.
-                segment.cursor.next()
+                replica.cursor.next()
                 if (signo in abi.FATAL_SIGNALS
                         and signo not in proc.signal_handlers):
                     # Both copies die here deterministically: the crash is
-                    # faithfully reproduced, not a divergence.
-                    segment.check_finished_time = self.executor.current_time
-                    segment.status = SegmentStatus.CHECKED
-                    self.stats.segments_checked += 1
-                    self._emit(tev.SEGMENT_CHECKED, proc=proc,
-                               segment=segment.index,
-                               reproduced_signal=signo)
-                    if self.recovery is not None:
-                        self.recovery.on_segment_verified(segment)
+                    # faithfully reproduced, not a divergence.  With
+                    # several replicas, the first reproduction verifies
+                    # the segment; its siblings must not re-count it.
+                    replica.reached_end = True
+                    if segment.status != SegmentStatus.CHECKED:
+                        segment.check_finished_time = \
+                            self.executor.current_time
+                        segment.status = SegmentStatus.CHECKED
+                        self.stats.segments_checked += 1
+                        self._emit(tev.SEGMENT_CHECKED, proc=proc,
+                                   segment=segment.index,
+                                   reproduced_signal=signo)
+                        if self.recovery is not None:
+                            self.recovery.on_segment_verified(segment)
                 return True
             # No matching record: the checker faulted where the main did
             # not -> a detected error (the "Exception" class of §5.6).
             self._report_error("exception", segment,
-                               f"checker raised unmatched signal {signo}")
+                               f"checker raised unmatched signal {signo}",
+                               proc=proc)
             return False
         return True
 
@@ -1051,7 +1141,7 @@ class Parallaft(Tracer):
             if segment is None:
                 return
             if segment.status == SegmentStatus.CHECKED \
-                    and segment.checker is proc \
+                    and segment.replica_of(proc.pid) is not None \
                     and segment in self.sched.running:
                 # Crash faithfully reproduced (see on_signal): retire now.
                 self._retire_segment(segment)
@@ -1063,7 +1153,8 @@ class Parallaft(Tracer):
                 # kernel already recorded the exhaustion and the run will
                 # classify as OOM, so don't double-report it as a fault.
                 self._report_error("exception", segment,
-                                   "checker died before its end point")
+                                   "checker died before its end point",
+                                   proc=proc)
             if self.pressure is not None and not self._terminated:
                 # If this was the last runnable process, blocked peers
                 # must be force-woken or their stalls never resolve.
@@ -1108,13 +1199,12 @@ class Parallaft(Tracer):
         if (segment.recovery_checkpoint is not None
                 and not segment.checkpoint_evicted
                 and segment.sheds < self.config.pressure_max_segment_sheds):
-            self.segment_of_checker.pop(proc.pid, None)
-            self._stalled_checkers.discard(proc.pid)
-            self.kernel.exit_process(proc, 128 + abi.SIGKILL)
-            self.kernel.reap(proc)
+            # Shed the whole replica set: the respawn path rebuilds every
+            # replica from the retained checkpoint, so keeping a sibling
+            # of the OOMing checker alive would only double it up later.
+            self._teardown_replicas(segment, exit_code=128 + abi.SIGKILL)
             self.sched.on_checker_done(segment)
             segment.checker = None
-            segment.replayer = None
             segment.sheds += 1
             segment.status = SegmentStatus.READY
             self.pressure.note_stage(2)
@@ -1161,7 +1251,7 @@ class Parallaft(Tracer):
             self.recovery.check_watchdog(proc)
             if not proc.alive or self._terminated:
                 return
-        if self.config.mode == RuntimeMode.RAFT:
+        if not self.mode.slices:
             return
         if self._main_stalled_on_pressure:
             # Stage-1 backpressure put the main to sleep this quantum; the
@@ -1196,22 +1286,96 @@ class Parallaft(Tracer):
 
     # ------------------------------------------------------------ segment check
 
-    def _complete_segment_check(self, segment: Segment) -> None:
-        checker = segment.checker
+    def _replica_reached_end(self, segment: Segment, replica) -> None:
+        """One replica reached the segment end point.
+
+        With a MEEK split configured, the replica takes its early check
+        immediately (detection as soon as *this* replica arrives, not at
+        the full boundary).  The mode's boundary check runs once every
+        replica has arrived; earlier arrivals park on their cores.
+        """
+        replica.reached_end = True
+        if (self.config.compare_state and self.config.meek_split > 0
+                and segment.end_checkpoint is not None):
+            self._meek_early_check(segment, replica)
+        if segment.all_replicas_arrived():
+            self.mode.boundary_check(self, segment)
+            return
+        # Park until the sibling replicas arrive.  Deliberately not a
+        # CHECKER_STALL: no record append can wake this replica — the
+        # boundary check is what consumes it.
+        replica.process.state = ProcessState.WAITING
+
+    def _meek_early_check(self, segment: Segment, replica) -> None:
+        """MEEK split stage 1: on arrival, compare PC/registers plus the
+        first ``ceil(meek_split * n)`` pages of the sorted dirty union.
+        The boundary stage covers the remainder — work is divided between
+        the two stages, never duplicated."""
+        checker = replica.process
+        union = set(segment.main_dirty_vpns)
+        union.update(self.dirty_tracker.dirty_vpns(checker))
+        self.executor.charge(checker, self.kernel.costs.dirty_scan_cycles(
+            checker.mem.mapped_pages), phase=mph.DIRTY_SCAN)
+        ordered = sorted(union)
+        take = math.ceil(self.config.meek_split * len(ordered))
+        early_vpns = ordered[:take]
+        result = self.comparator.compare(checker, segment.end_checkpoint,
+                                         set(early_vpns))
+        self.executor.charge(
+            checker, self.kernel.costs.hash_cycles(result.bytes_hashed),
+            phase=mph.COMPARISON)
+        replica.early_result = result
+        replica.early_vpns = tuple(early_vpns)
+        self.stats.meek_early_checks += 1
+        if not result.match:
+            self.stats.meek_early_detections += 1
+        self._emit(tev.COMPARISON, proc=checker, segment=segment.index,
+                   match=result.match, bytes_hashed=result.bytes_hashed,
+                   stage="early")
+
+    def _compare_replica(self, segment: Segment, replica,
+                         phase: str):
+        """Compare one replica against the end checkpoint; returns
+        ``(result, union)``.  Honors a MEEK early verdict: the boundary
+        stage hashes only the pages the early check did not cover, and
+        an early mismatch carries through to the combined verdict."""
+        checker = replica.process
+        checkpoint = segment.end_checkpoint
+        union = set(segment.main_dirty_vpns)
+        union.update(self.dirty_tracker.dirty_vpns(checker))
+        if replica.early_result is None:
+            # The MEEK path already scanned on arrival (the replica has
+            # been parked since, so its dirty set is unchanged).
+            self.executor.charge(
+                checker,
+                self.kernel.costs.dirty_scan_cycles(
+                    checker.mem.mapped_pages),
+                phase=mph.DIRTY_SCAN)
+        late_vpns = union - set(replica.early_vpns)
+        result = self.comparator.compare(checker, checkpoint, late_vpns)
+        self.executor.charge(
+            checker, self.kernel.costs.hash_cycles(result.bytes_hashed),
+            phase=phase)
+        early = replica.early_result
+        if early is not None and not early.match and result.match:
+            # The divergence lives in the early slice: the combined
+            # verdict is the AND of the two stages.
+            result = early
+        self._emit(tev.COMPARISON, proc=checker, segment=segment.index,
+                   match=result.match, bytes_hashed=result.bytes_hashed)
+        return result, union
+
+    def _pairwise_boundary_check(self, segment: Segment) -> None:
+        """The paper's boundary policy (and the mode-hook default): one
+        checker, compared pairwise against the end checkpoint."""
         checkpoint = segment.end_checkpoint
         if self.config.compare_state:
             for hook in self.compare_hooks:
                 hook(segment)
-            union = set(segment.main_dirty_vpns)
-            union.update(self.dirty_tracker.dirty_vpns(checker))
-            self.executor.charge(checker, self.kernel.costs.dirty_scan_cycles(
-                checker.mem.mapped_pages), phase=mph.DIRTY_SCAN)
-            result = self.comparator.compare(checker, checkpoint, union)
-            self.executor.charge(
-                checker, self.kernel.costs.hash_cycles(result.bytes_hashed),
-                phase=mph.COMPARISON)
-            self._emit(tev.COMPARISON, proc=checker, segment=segment.index,
-                       match=result.match, bytes_hashed=result.bytes_hashed)
+            replica = segment.replicas[0]
+            checker = replica.process
+            result, union = self._compare_replica(segment, replica,
+                                                  mph.COMPARISON)
             if not result.match:
                 if result.reason == "integrity":
                     # The two hash paths disagreed: the comparator itself
@@ -1249,20 +1413,148 @@ class Parallaft(Tracer):
                                          detail)
                     self._report_error("infra_integrity", segment, detail)
                     return
+        self._segment_verified(segment)
+
+    def _segment_verified(self, segment: Segment) -> None:
+        """The boundary policy accepted the segment: mark it CHECKED and
+        retire its resources."""
         segment.check_finished_time = self.executor.current_time
         segment.status = SegmentStatus.CHECKED
         self.stats.segments_checked += 1
-        self._emit(tev.SEGMENT_CHECKED, proc=checker, segment=segment.index)
+        self._emit(tev.SEGMENT_CHECKED, proc=segment.checker,
+                   segment=segment.index)
         if self.recovery is not None:
             self.recovery.on_segment_verified(segment)
         self._retire_segment(segment)
+
+    def _forward_recover(self, segment: Segment, vote) -> None:
+        """The main was outvoted: adopt the majority state and continue
+        *forward* from the boundary (TMR; never a rollback).
+
+        The winning replica replayed the segment from the verified start
+        state, so its state at the end point *is* the majority state —
+        promotion needs no patching: the winner simply becomes the new
+        main.  Execution the old main performed past this boundary was
+        built on the faulted state and is discarded (segments after this
+        one roll up as ``segment_rolled_back`` with
+        ``cause="forward_recovery"``); the boundary itself — and every
+        byte of output committed before it — survives, which is what
+        distinguishes forward recovery from a rollback.
+        """
+        winner = segment.replicas[vote.winner_index]
+        new_main = winner.process
+        old_main = self.main
+        main_was_alive = old_main.alive
+        # -- detach the winner from its checker identity ---------------
+        segment.replicas.remove(winner)
+        self.segment_of_checker.pop(new_main.pid, None)
+        self._stalled_checkers.discard(new_main.pid)
+        # Its replay work stays accounted as checker work; from here on
+        # its cycles are the main's.
+        self.stats.checker_user_time += new_main.user_time
+        self.stats.checker_sys_time += new_main.sys_time
+        self.stats.checker_cycles_big += new_main.cycles_big
+        self.stats.checker_cycles_little += new_main.cycles_little
+        winner.replayer = None
+        new_main.cpu.disarm_branch_overflow()
+        new_main.cpu.disarm_instr_overflow()
+        # -- discard everything recorded after the boundary ------------
+        later = [s for s in self.segments
+                 if s.index > segment.index and s.live]
+        if later:
+            first = min(later, key=lambda s: s.index)
+            self._truncate_consoles(first)
+        for stale in later:
+            # De-queue first: a discard frees cores, and the scheduler
+            # would otherwise place a sibling we are about to tear down.
+            if stale in self.sched.pending:
+                self.sched.pending.remove(stale)
+        for stale in later:
+            self._discard_segment_forward(stale)
+        # -- retire the old main (no rollback is counted) --------------
+        old_core = old_main.core
+        self.kernel.promote_process(old_main, new_main)
+        self.roles.pop(old_main.pid, None)
+        self.executor.unassign(old_main)
+        self.executor.unassign(new_main)
+        self.roles[new_main.pid] = "main"
+        # Wall-clock stats measure the protected job, which started when
+        # the original main spawned.
+        new_main.spawn_time = old_main.spawn_time
+        self.main = new_main
+        core = old_core
+        if core is None or core.occupant is not None:
+            core = (self.executor.free_core("big")
+                    or self.executor.free_core("little"))
+        self.executor.assign(new_main, core)
+        new_main.state = ProcessState.RUNNING
+        new_main.ready_time = max(new_main.ready_time,
+                                  self.executor.current_time)
+        # -- reset coordinator state the discarded execution owned -----
+        self.current = None
+        self._pending_syscall = None
+        self._pending_mmap_split = False
+        self._main_stalled_on_cap = False
+        self._main_stalled_for_containment = False
+        self._main_stalled_on_pressure = False
+        self.stats.tmr_forward_recoveries += 1
+        self._emit(tev.FORWARD_RECOVERY, proc=new_main,
+                   segment=segment.index, winner_pid=new_main.pid,
+                   discarded=[s.index for s in later])
+        # The boundary itself is majority-verified.
+        self._segment_verified(segment)
+        if main_was_alive:
+            # The old main was mid-recording: open a fresh segment from
+            # the adopted state.
+            self.sched.main_done = False
+            self._start_segment()
+        else:
+            # Final segment: the promoted winner sits on the exit
+            # syscall's execution point and will exit natively with the
+            # majority state.
+            self.kernel.reap(old_main)
+
+    def _truncate_consoles(self, first_discarded: Segment) -> None:
+        """Throw away console output the discarded execution produced."""
+        for console, stream, mark in (
+                (self.kernel.console, "stdout",
+                 first_discarded.console_mark),
+                (self.kernel.stderr_console, "stderr",
+                 first_discarded.stderr_mark)):
+            if console.mark() > mark:
+                console.truncate(mark)
+                self._emit(tev.CONSOLE_TRUNCATE, stream=stream,
+                           length=mark,
+                           segment=first_discarded.index)
+
+    def _discard_segment_forward(self, segment: Segment) -> None:
+        """Discard a segment recorded after a forward-recovery boundary:
+        its start state descends from the outvoted main."""
+        if segment in self.sched.pending:
+            self.sched.pending.remove(segment)
+        self._teardown_replicas(segment)
+        self.sched.on_checker_done(segment)
+        segment.checker = None
+        if segment.end_checkpoint is not None and not segment.end_is_main:
+            self.roles.pop(segment.end_checkpoint.pid, None)
+            self.kernel.reap(segment.end_checkpoint)
+            segment.end_checkpoint = None
+        if segment.recovery_checkpoint is not None:
+            self.roles.pop(segment.recovery_checkpoint.pid, None)
+            self.kernel.reap(segment.recovery_checkpoint)
+            segment.recovery_checkpoint = None
+        segment.status = SegmentStatus.ROLLED_BACK
+        self._emit(tev.SEGMENT_ROLLED_BACK, segment=segment.index,
+                   cause="forward_recovery")
 
     def _retire_segment(self, segment: Segment) -> None:
         if segment.retired:
             return
         segment.retired = True
-        checker = segment.checker
-        if checker is not None:
+        for replica in segment.replicas:
+            checker = replica.process
+            if checker is None:
+                continue
             self.stats.checker_user_time += checker.user_time
             self.stats.checker_sys_time += checker.sys_time
             self.stats.checker_cycles_big += checker.cycles_big

@@ -36,21 +36,53 @@ class SegmentStatus(enum.Enum):
     ROLLED_BACK = "rolled_back"  # discarded by recovery; main re-executes
 
 
+class Replica:
+    """One checker replica of a segment: a paused fork of the main at
+    segment start plus its private replay state.  Parallaft and RAFT run
+    one replica per segment; TMR runs two (the main is the third voter).
+    Each replica consumes the shared segment log through its *own*
+    cursor and replays to the end point through its own replayer, so
+    replicas progress independently on their cores."""
+
+    __slots__ = ("process", "cursor", "replayer", "reached_end",
+                 "early_result", "early_vpns")
+
+    def __init__(self, process: Process, cursor):
+        self.process = process
+        self.cursor = cursor
+        self.replayer: Optional[ExecPointReplayer] = None
+        #: True once this replica reached the segment end point (a vote
+        #: waits for every live replica to arrive).
+        self.reached_end = False
+        #: MEEK early-check verdict (a ``ComparisonResult``) taken on
+        #: arrival when ``meek_split > 0``; None when no early check ran.
+        self.early_result = None
+        #: The dirty vpns the early check already covered — the boundary
+        #: compare hashes only the remainder (work divided, not
+        #: duplicated).
+        self.early_vpns = ()
+
+    def __repr__(self) -> str:
+        pid = self.process.pid if self.process is not None else None
+        return f"Replica(pid={pid}, reached_end={self.reached_end})"
+
+
 class Segment:
     def __init__(self, index: int, checker: Process,
                  start_branches: int, start_instructions: int,
                  start_cycles: float, start_time: float):
         self.index = index
-        #: Paused fork of the main at segment start; released when READY.
-        self.checker: Optional[Process] = checker
         #: Pristine fork of the main at segment end (comparison target).
         self.end_checkpoint: Optional[Process] = None
         #: True when end_checkpoint is the main process itself (final
         #: segment compares against the exited main, which is not reaped).
         self.end_is_main = False
         self.log = RrLog()
-        #: The checker's replay position in the log.
-        self.cursor = self.log.cursor()
+        #: Checker replicas (paused forks of the segment-start state).
+        #: ``checker``/``cursor``/``replayer`` below view replica 0, the
+        #: only one in single-replica modes.
+        self.replicas: List[Replica] = []
+        self.checker = checker
         self.status = SegmentStatus.RECORDING
 
         # Counter bases at segment start (from the main's CPU).
@@ -92,7 +124,6 @@ class Segment:
         self.stderr_mark = 0
 
         # Filled while checking.
-        self.replayer: Optional[ExecPointReplayer] = None
         self.check_started_time: Optional[float] = None
         self.check_finished_time: Optional[float] = None
         self.checker_was_migrated = False
@@ -104,6 +135,63 @@ class Segment:
 
     def __repr__(self) -> str:
         return f"Segment({self.index}, {self.status.value})"
+
+    # -- replica views -----------------------------------------------------
+    # Single-replica code paths (the vast majority) address "the checker";
+    # these properties keep them working unchanged over the replica list.
+
+    @property
+    def checker(self) -> Optional[Process]:
+        """Replica 0's process; the only checker in non-TMR modes."""
+        return self.replicas[0].process if self.replicas else None
+
+    @checker.setter
+    def checker(self, process: Optional[Process]) -> None:
+        if process is None:
+            self.replicas = []
+        elif self.replicas:
+            self.replicas[0].process = process
+        else:
+            self.replicas = [Replica(process, self.log.cursor())]
+
+    @property
+    def cursor(self):
+        return self.replicas[0].cursor if self.replicas else None
+
+    @cursor.setter
+    def cursor(self, cursor) -> None:
+        if self.replicas:
+            self.replicas[0].cursor = cursor
+
+    @property
+    def replayer(self) -> Optional[ExecPointReplayer]:
+        return self.replicas[0].replayer if self.replicas else None
+
+    @replayer.setter
+    def replayer(self, replayer: Optional[ExecPointReplayer]) -> None:
+        if self.replicas:
+            self.replicas[0].replayer = replayer
+
+    def add_replica(self, process: Process) -> Replica:
+        """Attach an extra checker replica with its own log cursor."""
+        replica = Replica(process, self.log.cursor())
+        self.replicas.append(replica)
+        return replica
+
+    def replica_of(self, pid: int) -> Optional[Replica]:
+        """The replica owning process ``pid``, if any."""
+        for replica in self.replicas:
+            if replica.process is not None and replica.process.pid == pid:
+                return replica
+        return None
+
+    def live_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas
+                if r.process is not None and r.process.alive]
+
+    def all_replicas_arrived(self) -> bool:
+        return bool(self.replicas) and all(r.reached_end
+                                           for r in self.replicas)
 
     @property
     def live(self) -> bool:

@@ -71,6 +71,13 @@ STAT_SCHEMA: Tuple[StatField, ...] = (
     StatField("recovery_retries", "counter.recovery.retries", "counter"),
     StatField("recovery_wasted_cycles",
               "counter.recovery.wasted_cycles", "counter"),
+    StatField("tmr_votes", "counter.tmr.votes", "counter"),
+    StatField("tmr_outvoted", "counter.tmr.outvoted", "counter"),
+    StatField("tmr_forward_recoveries",
+              "counter.tmr.forward_recoveries", "counter"),
+    StatField("meek_early_checks", "counter.meek.early_checks", "counter"),
+    StatField("meek_early_detections",
+              "counter.meek.early_detections", "counter"),
     StatField("integrity_checks", "counter.integrity.checks", "counter"),
     StatField("integrity_failures", "counter.integrity.failures", "counter"),
     StatField("pressure_stalls", "counter.pressure.stalls", "counter"),
@@ -118,6 +125,14 @@ class RunStats:
     recovery_rollbacks: int = 0
     recovery_retries: int = 0         # diagnostic re-checks run by recovery
     recovery_wasted_cycles: float = 0.0   # discarded main+checker work
+    # counter.tmr.* — majority voting (repro.modes.tmr): boundary votes
+    # run, voters outvoted (main or replica), forward recoveries applied
+    tmr_votes: int = 0
+    tmr_outvoted: int = 0
+    tmr_forward_recoveries: int = 0
+    # counter.meek.* — split-check early verdicts taken at replica arrival
+    meek_early_checks: int = 0
+    meek_early_detections: int = 0
     # counter.integrity.* — hardening checks run/failed (log checksums,
     # checkpoint digests, clean-page audits, redundant compare verdicts)
     integrity_checks: int = 0

@@ -154,7 +154,7 @@ class FaultInjector:
                 if segment_index >= len(runtime.segments):
                     return
                 segment = runtime.segments[segment_index]
-                if segment.checker is not proc:
+                if segment.replica_of(proc.pid) is None:
                     return
                 if proc.user_time >= when:
                     fired[0] = site.apply(

@@ -76,6 +76,10 @@ ERROR_KIND_TO_OUTCOME = {
     # The fault was detected but its recovery checkpoint had been evicted
     # under memory pressure: fail-stop instead of rollback — a detection.
     "checkpoint_evicted": Outcome.DETECTED,
+    # TMR: no two of the three boundary states agreed (or the
+    # forward-recovery budget is spent) — adopting any state would be a
+    # guess, so the run fail-stops.  Still a successful detection.
+    "vote_inconclusive": Outcome.DETECTED,
 }
 
 
@@ -103,10 +107,14 @@ def classify_run(stats, reference_stdout: str,
         # No error was reported yet the committed output is corrupt: the
         # fault escaped the sphere of replication silently.
         return Outcome.SDC
-    if stats.recovery_rollbacks > 0 or stats.checker_retries > 0:
+    if (stats.recovery_rollbacks > 0 or stats.checker_retries > 0
+            or getattr(stats, "tmr_outvoted", 0) > 0
+            or getattr(stats, "tmr_forward_recoveries", 0) > 0):
         # The run survived a detected fault: a rollback re-executed the
-        # corrupted region, or a checker retry absorbed it — and the
-        # output above already proved equal to the reference.
+        # corrupted region, a checker retry absorbed it, or a TMR vote
+        # outvoted the faulty copy (forward recovery when that copy was
+        # the main) — and the output above already proved equal to the
+        # reference.
         return Outcome.RECOVERED
     return Outcome.BENIGN
 

@@ -167,12 +167,16 @@ def _protected_run(bench: Benchmark, config: ParallaftConfig,
 def _mini_campaign(bench: Benchmark, budget: int,
                    platform_factory, scale: int, seed: int, quantum: int,
                    injections_per_segment: int,
-                   max_segments: int) -> CampaignResult:
+                   max_segments: int,
+                   mode: str = "parallaft") -> CampaignResult:
     """The paper's checker-side campaign, replayed under this budget."""
+    from repro.modes import get_mode
+    detection = get_mode(mode)
     source, files = bench.build(scale, seed)
     injector = FaultInjector(
         compile_source(source, name=bench.name),
-        config_factory=lambda: ParallaftConfig(mem_budget_bytes=budget),
+        config_factory=lambda: detection.make_config(
+            mem_budget_bytes=budget),
         platform_factory=platform_factory,
         files=files, seed=seed, quantum=quantum)
     return injector.run_campaign(
@@ -186,18 +190,23 @@ def run_pressure_sweep(bench: Benchmark,
                        platform: Optional[PlatformConfig] = None,
                        scale: int = 1, seed: int = 1, quantum: int = 2000,
                        injections_per_segment: int = 0,
-                       max_campaign_segments: int = 3) -> PressureSweep:
+                       max_campaign_segments: int = 3,
+                       mode: str = "parallaft") -> PressureSweep:
     """Sweep one workload down the budget ladder.
 
     ``injections_per_segment > 0`` additionally runs a fault campaign at
     every budget whose fault-free run survived, proving the degradation
-    ladder does not open detection gaps.
+    ladder does not open detection gaps.  ``mode`` picks the detection
+    mode every rung runs under (registry-resolved, so an unknown name is
+    a typed error rather than a silent parallaft run).
     """
+    from repro.modes import get_mode
+    detection = get_mode(mode)
     platform = platform or apple_m2()
     base = _baseline_peak(bench, platform, scale, seed, quantum)
 
     unbounded, violations = _protected_run(
-        bench, ParallaftConfig(mem_budget_bytes=None), platform,
+        bench, detection.make_config(mem_budget_bytes=None), platform,
         scale, seed, quantum)
     if unbounded.error_detected or unbounded.exit_code != 0:
         raise RuntimeError(f"{bench.name} unbounded reference failed: "
@@ -212,7 +221,7 @@ def run_pressure_sweep(bench: Benchmark,
 
     for fraction in fractions:
         budget = int(base + fraction * (peak - base))
-        config = ParallaftConfig(mem_budget_bytes=budget)
+        config = detection.make_config(mem_budget_bytes=budget)
         stats, violations = _protected_run(
             bench, config, platform, scale, seed, quantum)
         result = _to_result(stats, budget, fraction, unbounded,
@@ -220,7 +229,7 @@ def run_pressure_sweep(bench: Benchmark,
         if injections_per_segment > 0 and result.survived:
             result.campaign = _mini_campaign(
                 bench, budget, lambda: platform, scale, seed, quantum,
-                injections_per_segment, max_campaign_segments)
+                injections_per_segment, max_campaign_segments, mode=mode)
         sweep.runs.append(result)
     return sweep
 
@@ -261,6 +270,7 @@ def run_pressure_campaign(benchmarks: Sequence[Benchmark],
                           resume: bool = False,
                           registry=None,
                           engine_options: Optional[Dict] = None,
+                          mode: str = "parallaft",
                           ) -> Dict[str, PressureSweep]:
     """Sweep every workload; returns ``{benchmark: PressureSweep}``.
 
@@ -285,7 +295,7 @@ def run_pressure_campaign(benchmarks: Sequence[Benchmark],
             bench, fractions=fractions, platform=platform, scale=scale,
             seed=task.seed, quantum=quantum,
             injections_per_segment=injections_per_segment,
-            max_campaign_segments=max_campaign_segments)
+            max_campaign_segments=max_campaign_segments, mode=mode)
         return sweep.to_dict()
 
     engine = CampaignEngine(
@@ -295,7 +305,8 @@ def run_pressure_campaign(benchmarks: Sequence[Benchmark],
                            "scale": scale,
                            "injections_per_segment":
                                injections_per_segment,
-                           "benchmarks": sorted(by_name)},
+                           "benchmarks": sorted(by_name),
+                           "mode": mode},
         journal_path=journal_path, resume=resume, registry=registry,
         **(engine_options or {}))
     fleet = engine.run()

@@ -16,7 +16,7 @@ from repro.harness.figures import PeriodSweepPoint, SuiteComparison
 from repro.harness.overhead import OverheadBreakdown
 from repro.metrics import (
     CHECKPOINT_FORK, COMPARISON, DIRTY_SCAN, HASHING, MAIN_EXEC,
-    RECOVERY_ROLLBACK, REPLAY, RUNTIME, CAP_STALL, CHECKER_STALL,
+    RECOVERY_ROLLBACK, REPLAY, RUNTIME, VOTE, CAP_STALL, CHECKER_STALL,
     CONTAINMENT_STALL, PRESSURE_STALL, PhaseProfile,
 )
 from repro.trace import TraceBuffer
@@ -101,6 +101,7 @@ _PHASE_COLUMNS = (
     ("replay", REPLAY),
     ("runtime", RUNTIME),
     ("rollback", RECOVERY_ROLLBACK),
+    ("vote", VOTE),
 )
 
 _STALL_COLUMNS = (
@@ -302,6 +303,8 @@ def render_run_stats(stats) -> str:
     keys.extend(sorted(
         k for k, v in d.items()
         if v and (k.startswith("counter.pressure.")
+                  or k.startswith("counter.tmr.")
+                  or k.startswith("counter.meek.")
                   or k in ("counter.oom_kills", "oom_killed"))))
     rows = [(k, d[k]) for k in keys if k in d]
     return _table(("stat", "value"), rows)
@@ -347,6 +350,52 @@ def render_pressure_campaign(sweeps: Dict[str, "PressureSweep"]) -> str:
                 outcome))
     return "graceful degradation under memory pressure\n" + _table(
         headers, rows)
+
+
+def render_mode_comparison(
+        summaries: Dict[str, "ModeRunSummary"]) -> str:
+    """Cross-mode table for
+    :func:`repro.modes.comparison.run_mode_comparison`.
+
+    One row per detection mode, same workload, *identical* injection
+    plan: overhead vs the unprotected baseline, how many planned faults
+    fired, what fraction were detected / recovered / escaped as SDC,
+    the mean detection latency (virtual seconds from flip to the first
+    detection action) and how each mode survived — rollbacks versus
+    forward recoveries.  Cells a mode never produced (no fired faults,
+    no latency, zero recoveries of a kind) render as ``—`` so a column
+    of real zeros stays distinguishable from "not applicable".
+    """
+    headers = ("mode", "ovh%", "fired", "detected", "recovered", "sdc",
+               "benign", "latency", "rollback", "fwd-rec", "outvoted")
+
+    def count_cell(n: int) -> str:
+        return NA if not n else str(n)
+
+    rows = []
+    for name, s in summaries.items():
+        fired = s.fired
+        if not fired:
+            rows.append((name, f"+{s.overhead_pct:.1f}", 0,
+                         NA, NA, NA, NA, NA, NA, NA, NA))
+            continue
+        latency = s.mean_detection_latency
+        rows.append((
+            name,
+            f"+{s.overhead_pct:.1f}",
+            len(fired),
+            f"{100 * s.detected_fraction:.0f}%",
+            f"{100 * s.fraction(Outcome.RECOVERED):.0f}%",
+            f"{100 * s.sdc_fraction:.0f}%",
+            f"{100 * s.fraction(Outcome.BENIGN):.0f}%",
+            NA if latency is None else f"{latency:.4f}",
+            count_cell(s.total_rollbacks),
+            count_cell(s.total_forward_recoveries),
+            count_cell(sum(r.outvoted for r in s.records)),
+        ))
+    return ("detection modes, identical injection plan "
+            f"({NA} = never happened under this mode)\n"
+            + _table(headers, rows))
 
 
 def render_infra_campaign(

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.common.units import geomean_overhead_pct
-from repro.core import Parallaft, ParallaftConfig, RuntimeMode
+from repro.core import Parallaft, ParallaftConfig
 from repro.core.stats import RunStats
 from repro.kernel import Kernel
 from repro.metrics import MetricRegistry, PhaseProfile
@@ -149,6 +149,8 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
     end-of-run registry as Prometheus text and the phase profile as a
     collapsed-stack (flamegraph) file, seed-suffixed like ``trace_path``.
     """
+    from repro.modes import get_mode
+    detection = get_mode(mode)  # typed ConfigError for unknown names
     platform = platform or apple_m2()
     result = BenchmarkResult(bench.name, mode)
     seeds = bench.input_seeds()
@@ -156,10 +158,8 @@ def run_protected(bench: Benchmark, mode: str = "parallaft",
         if config is not None:
             import copy
             run_config = copy.deepcopy(config)
-        elif mode == "raft":
-            run_config = ParallaftConfig.raft()
         else:
-            run_config = ParallaftConfig()
+            run_config = detection.make_config()
         source, files = bench.build(scale, seed)
         from repro.minic import compile_source
         runtime = Parallaft(compile_source(source, name=bench.name),
@@ -243,9 +243,13 @@ def _run_campaign_cli(args) -> int:
     from repro.faults import FaultInjector
     from repro.harness.report import render_fleet, render_injection
     from repro.minic import compile_source
+    from repro.modes import get_mode
     from repro.sim import apple_m2
     from repro.workloads.registry import benchmark
 
+    # A campaign runs under a detection mode; "baseline" has no checkers
+    # to inject around, so the registry lookup rejects it too.
+    detection = get_mode(args.mode)
     names = [n.strip() for n in args.bench.split(",")]
     campaigns = {}
     fleets = {}
@@ -254,10 +258,7 @@ def _run_campaign_cli(args) -> int:
         source, files = bench.build(args.scale, args.seed_base)
 
         def config_factory():
-            config = ParallaftConfig(mem_budget_bytes=args.budget)
-            if args.mode == "raft":
-                config.mode = RuntimeMode.RAFT
-            return config
+            return detection.make_config(mem_budget_bytes=args.budget)
 
         journal = args.journal
         if journal is not None and len(names) > 1:
@@ -300,15 +301,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     import argparse
 
+    from repro.modes import registered_modes
     from repro.workloads.registry import benchmark
 
     parser = argparse.ArgumentParser(
         prog="repro.harness.runner",
-        description="Run benchmarks under baseline / parallaft / raft.")
+        description="Run benchmarks under baseline or a detection mode "
+                    "(parallaft / raft / tmr).")
     parser.add_argument("--bench", required=True,
                         help="comma-separated benchmark names")
     parser.add_argument("--mode", default="parallaft",
-                        choices=("baseline", "parallaft", "raft"))
+                        choices=("baseline", *registered_modes()))
     parser.add_argument("--mem-sample", action="store_true",
                         help="sample PSS during the run and report "
                              "mean PSS / peak resident bytes")
@@ -380,9 +383,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             config = None
             if args.budget is not None:
-                config = ParallaftConfig(mem_budget_bytes=args.budget)
-                if args.mode == "raft":
-                    config.mode = RuntimeMode.RAFT
+                from repro.modes import get_mode
+                config = get_mode(args.mode).make_config(
+                    mem_budget_bytes=args.budget)
             dashboard = Dashboard() if args.metrics else None
             want_sampling = args.metrics or args.prom is not None
             result = run_protected(
@@ -404,7 +407,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wall_time      {result.wall_time:.1f}")
         print(f"energy_joules  {result.energy_joules:.3f}")
         if args.mem_sample:
-            print(f"mean_pss       {result.mean_pss():.0f}")
+            from repro.harness.report import NA
+            # "—", not 0: a run that produced no samples (e.g. it ended
+            # before the first sampling tick) measured nothing.
+            print(f"mean_pss       "
+                  f"{f'{result.mean_pss():.0f}' if result.pss_samples else NA}")
         for run in result.inputs:
             if run.stats is not None:
                 print(render_run_stats(run.stats))

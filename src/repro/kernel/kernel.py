@@ -232,6 +232,24 @@ class Kernel:
         self.stats["rollbacks"] += 1
         return checkpoint
 
+    def promote_process(self, old_main: Process,
+                        new_main: Process) -> Process:
+        """Forward recovery: replace ``old_main`` with a live replica.
+
+        Mechanically the same user-space swap as
+        :meth:`rollback_to_checkpoint` — kill and reap the outvoted
+        process, let the replica run on — but it is *not* a rollback:
+        the replica already sits at (or past) the verified boundary, so
+        no committed work is re-executed and the rollback counter stays
+        untouched.  The caller re-wires roles, cores and tracers.
+        """
+        old_main.tracer = None          # no exit/ptrace hooks for the corpse
+        if old_main.alive:
+            self.exit_process(old_main, 128 + abi.SIGKILL)
+        self.reap(old_main)
+        new_main.state = ProcessState.RUNNING
+        return new_main
+
     # -- tracing ---------------------------------------------------------------------
 
     def attach_tracer(self, proc: Process, tracer: Tracer) -> None:

@@ -15,7 +15,7 @@ from .phases import (ALL_PHASES, CAP_STALL, CHECKER_STALL, CHECKPOINT_FORK,
                      HASHING, MAIN_EXEC, NULL_PROFILER,
                      PARALLAFT_ONLY_PHASES, PRESSURE_STALL,
                      RECOVERY_ROLLBACK, REPLAY, RUNTIME, STALL_PHASES,
-                     PhaseProfile, PhaseProfiler)
+                     VOTE, PhaseProfile, PhaseProfiler)
 from .registry import (Counter, Gauge, Histogram, MetricKindError,
                        MetricRegistry)
 
@@ -24,7 +24,7 @@ __all__ = [
     "PhaseProfiler", "PhaseProfile", "NULL_PROFILER",
     "CYCLE_PHASES", "STALL_PHASES", "ALL_PHASES", "PARALLAFT_ONLY_PHASES",
     "MAIN_EXEC", "CHECKPOINT_FORK", "DIRTY_SCAN", "HASHING", "COMPARISON",
-    "REPLAY", "RUNTIME", "RECOVERY_ROLLBACK",
+    "REPLAY", "RUNTIME", "RECOVERY_ROLLBACK", "VOTE",
     "CONTAINMENT_STALL", "PRESSURE_STALL", "CAP_STALL", "CHECKER_STALL",
     "prometheus_text", "parse_prometheus_text",
     "collapsed_stacks", "parse_collapsed", "json_snapshot",

@@ -30,6 +30,12 @@ Cycle phases
     ``recovery_rollback``
         Restoring a verified checkpoint into a fresh main after a
         confirmed error.
+    ``vote``
+        TMR majority voting at segment boundaries: the extra hashing
+        the comparator performs to compare every replica against the
+        end checkpoint (and replicas against each other when the main
+        disagrees with all of them), plus forward-recovery state
+        patching.  Single-replica modes never charge this phase.
 
 Stall phases (virtual seconds, not cycles)
     ``containment_stall``  — main held at an effectful syscall until all
@@ -54,7 +60,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = [
     "MAIN_EXEC", "CHECKPOINT_FORK", "DIRTY_SCAN", "HASHING", "COMPARISON",
-    "REPLAY", "RUNTIME", "RECOVERY_ROLLBACK",
+    "REPLAY", "RUNTIME", "RECOVERY_ROLLBACK", "VOTE",
     "CONTAINMENT_STALL", "PRESSURE_STALL", "CAP_STALL", "CHECKER_STALL",
     "CYCLE_PHASES", "STALL_PHASES", "ALL_PHASES",
     "PhaseProfile", "PhaseProfiler", "NULL_PROFILER",
@@ -68,6 +74,7 @@ COMPARISON = "comparison"
 REPLAY = "replay"
 RUNTIME = "runtime"
 RECOVERY_ROLLBACK = "recovery_rollback"
+VOTE = "vote"
 
 CONTAINMENT_STALL = "containment_stall"
 PRESSURE_STALL = "pressure_stall"
@@ -76,7 +83,7 @@ CHECKER_STALL = "checker_stall"
 
 CYCLE_PHASES: Tuple[str, ...] = (
     MAIN_EXEC, CHECKPOINT_FORK, DIRTY_SCAN, HASHING, COMPARISON,
-    REPLAY, RUNTIME, RECOVERY_ROLLBACK,
+    REPLAY, RUNTIME, RECOVERY_ROLLBACK, VOTE,
 )
 STALL_PHASES: Tuple[str, ...] = (
     CONTAINMENT_STALL, PRESSURE_STALL, CAP_STALL, CHECKER_STALL,

@@ -1,0 +1,37 @@
+"""Detection modes: the policy layer over the shared runtime mechanism.
+
+Importing this package registers the built-in modes (``parallaft``,
+``raft``, ``tmr``); :func:`get_mode` resolves a name to its singleton
+and raises a typed error listing the registry for unknown names.
+"""
+
+from repro.modes.base import (
+    DetectionMode,
+    get_mode,
+    register_mode,
+    registered_modes,
+)
+from repro.modes.parallaft import ParallaftMode
+from repro.modes.raft import RaftMode
+from repro.modes.tmr import TmrMode
+
+__all__ = [
+    "DetectionMode",
+    "register_mode",
+    "registered_modes",
+    "get_mode",
+    "ParallaftMode",
+    "RaftMode",
+    "TmrMode",
+    "run_mode_comparison",
+    "ModeRunSummary",
+]
+
+
+def __getattr__(name):
+    # The comparison campaign pulls in the fault-injection stack; load it
+    # lazily so `import repro.modes` stays cheap for the runtime hot path.
+    if name in ("run_mode_comparison", "ModeRunSummary"):
+        from repro.modes import comparison
+        return getattr(comparison, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

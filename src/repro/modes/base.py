@@ -1,0 +1,125 @@
+"""The :class:`DetectionMode` contract and mode registry.
+
+A detection mode is the *policy* half of the runtime: how many checker
+replicas a segment forks, when they are submitted to the checker
+scheduler, whether the run is sliced into segments at all, what happens
+at a segment boundary (pairwise compare, majority vote, or nothing) and
+how a divergence is resolved (fail-stop, retry/rollback, or forward
+recovery).  The mechanism half — forking, replay, dirty tracking,
+scheduling — stays in :mod:`repro.core.runtime` and is shared by every
+mode.
+
+Modes register themselves by name; :func:`get_mode` is the single
+resolution point used by ``ParallaftConfig.detection_mode()``, the
+harness CLI and the campaign drivers, so an unknown mode string raises a
+typed :class:`~repro.common.errors.ConfigError` listing the registered
+names instead of silently falling through to a default.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Type
+
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:
+    from repro.core.config import ParallaftConfig
+    from repro.core.runtime import Parallaft
+    from repro.core.segment import Replica, Segment
+
+_REGISTRY: Dict[str, "DetectionMode"] = {}
+
+
+class DetectionMode:
+    """Segment-lifecycle policy for one detection strategy.
+
+    Subclasses override the class attributes (cheap structural choices
+    the runtime reads in hot paths) and the hook methods (boundary and
+    error policy).  Mode objects are stateless singletons — per-run
+    state lives on the runtime and its :class:`RunStats`.
+    """
+
+    #: Registry key; also the ``RuntimeMode`` enum value.
+    name: str = ""
+    #: One-line summary for ``--help`` and the docs table.
+    summary: str = ""
+    #: Checker replicas forked per segment (the main is not a replica).
+    replica_count: int = 1
+    #: Submit the segment to the checker scheduler at segment *start*
+    #: (concurrent log-consuming replay, RAFT) instead of at release.
+    concurrent_checking: bool = False
+    #: Whether ``on_quantum`` slices the run into periodic segments.
+    slices: bool = True
+
+    # ------------------------------------------------------------ config
+
+    @classmethod
+    def make_config(cls, **overrides) -> "ParallaftConfig":
+        """A fresh :class:`ParallaftConfig` preset for this mode."""
+        config = cls._base_config()
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise ConfigError(f"unknown config field {key!r}")
+            setattr(config, key, value)
+        return config
+
+    @classmethod
+    def _base_config(cls) -> "ParallaftConfig":
+        raise NotImplementedError
+
+    # ------------------------------------------------- lifecycle hooks
+
+    def on_segment_start(self, rt: "Parallaft", segment: "Segment") -> None:
+        """Called after a segment's replicas are forked (paused)."""
+        if self.concurrent_checking:
+            rt.sched.submit(segment)
+
+    def on_segment_release(self, rt: "Parallaft",
+                           segment: "Segment") -> None:
+        """Called when the segment's end point is known and its replicas
+        are ready to replay."""
+        if not self.concurrent_checking:
+            rt.sched.submit(segment)
+
+    def boundary_check(self, rt: "Parallaft", segment: "Segment") -> None:
+        """All replicas reached the segment end point: decide the
+        segment's fate (CHECKED, error, vote, ...).  The default policy
+        is the paper's pairwise checker-vs-checkpoint compare (which
+        degenerates to "always pass" when ``compare_state`` is off, the
+        RAFT configuration)."""
+        rt._pairwise_boundary_check(segment)
+
+    def absorb_replica_error(self, rt: "Parallaft", segment: "Segment",
+                             replica: "Replica", kind: str,
+                             detail: str) -> bool:
+        """A single replica failed mid-replay (divergence, exception,
+        timeout).  Return True if the mode absorbed the failure (e.g. by
+        outvoting the replica) so the runtime must not report an error.
+        The default policy absorbs nothing."""
+        return False
+
+
+# ---------------------------------------------------------------- registry
+
+def register_mode(cls: Type[DetectionMode]) -> Type[DetectionMode]:
+    """Class decorator: instantiate and register a mode singleton."""
+    if not cls.name:
+        raise ConfigError(f"{cls.__name__} has no mode name")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def registered_modes() -> List[str]:
+    """Registered mode names, sorted for stable error messages."""
+    return sorted(_REGISTRY)
+
+
+def get_mode(name: str) -> DetectionMode:
+    """Resolve a mode by name; unknown names raise a typed error that
+    lists every registered mode."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown detection mode {name!r}; registered modes: "
+            f"{', '.join(registered_modes())}") from None

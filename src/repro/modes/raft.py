@@ -1,0 +1,22 @@
+"""The RAFT baseline (paper §5.1): a single unsliced segment whose
+checker replays concurrently on a big core, detecting divergence only
+through the record/replay log (no boundary state compare)."""
+
+from __future__ import annotations
+
+from repro.modes.base import DetectionMode, register_mode
+
+
+@register_mode
+class RaftMode(DetectionMode):
+    name = "raft"
+    summary = ("single-segment concurrent replay on a big core; log "
+               "divergence only, no boundary state compare")
+    replica_count = 1
+    concurrent_checking = True
+    slices = False
+
+    @classmethod
+    def _base_config(cls):
+        from repro.core.config import ParallaftConfig
+        return ParallaftConfig.raft()

@@ -58,6 +58,18 @@ Output commit and recovery:
 * ``rollback``         — the main was rolled back to a verified checkpoint
 * ``app_terminate``    — stop-on-error tore the application down
 
+TMR majority voting (``repro.modes.tmr``):
+
+* ``vote``             — a 3-way boundary vote ran (payload ``quorum``:
+  3 unanimous, 2 majority, 1 all-disagree → fail-stop; plus
+  ``main_outvoted``)
+* ``outvoted``         — one voter lost a majority vote, or a replica's
+  mid-replay divergence was absorbed (payload ``loser``:
+  ``"main"`` | ``"checker"``, ``cause``)
+* ``forward_recovery`` — the main was outvoted: the majority state was
+  adopted and execution continued *forward* (never a ``rollback``: the
+  no-ROLLBACK-after-FORWARD_RECOVERY invariant)
+
 Integrity hardening (config knobs ``log_checksums`` /
 ``checkpoint_digests`` / ``clean_page_audit`` / ``redundant_compare``):
 
@@ -139,6 +151,11 @@ SYSCALL_RECORD = "syscall_record"
 SYSCALL_REPLAY = "syscall_replay"
 COMPARISON = "comparison"
 ERROR = "error"
+
+# TMR majority voting (repro.modes.tmr).
+VOTE = "vote"
+OUTVOTED = "outvoted"
+FORWARD_RECOVERY = "forward_recovery"
 
 # Output commit and recovery.
 CONSOLE_WRITE = "console_write"

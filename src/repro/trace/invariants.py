@@ -46,10 +46,21 @@ the paper's correctness argument depends on:
     1e-9 for float summation-order drift.  A forgotten attribution site
     in any charge path breaks the balance.  Checked unconditionally —
     the event carries its own totals, so drops cannot fake a violation.
+(k) **vote quorum** — a TMR ``vote`` event with ``quorum < 2`` means no
+    two of the three boundary states agreed: adopting any of them would
+    be a guess, so the run must fail-stop.  Every such vote must be
+    followed by an ``error`` (or the application's termination); a
+    quorum-1 vote the run sailed past admitted an unverified segment.
+(l) **no rollback after forward recovery** — forward recovery is the
+    promise that the majority state is adopted *without* re-execution;
+    a ``rollback`` event anywhere after a ``forward_recovery`` event
+    breaks it (committed output would be re-executed).  Checked
+    unconditionally, like (f).
 
-Pairing-based invariants (b)–(d) and the order-sensitive pressure
-invariants (g)–(h) are skipped when the ring buffer dropped events, since
-a dropped stall/assign/stage event would produce false positives.
+Pairing-based invariants (b)–(d), the order-sensitive pressure
+invariants (g)–(h) and the end-of-trace half of (k) are skipped when the
+ring buffer dropped events, since a dropped stall/assign/stage/error
+event would produce false positives.
 """
 
 from __future__ import annotations
@@ -66,7 +77,9 @@ from .events import (
     CONSOLE_WRITE,
     CORE_ASSIGN,
     CORE_UNASSIGN,
+    ERROR,
     EVICT,
+    FORWARD_RECOVERY,
     INTEGRITY_FAIL,
     MAIN_STALL,
     MAIN_WAKE,
@@ -82,6 +95,7 @@ from .events import (
     SEGMENT_TERMINAL,
     STALL_CONTAINMENT,
     SYSCALL_RECORD,
+    VOTE,
     TraceEvent,
 )
 
@@ -136,6 +150,8 @@ class InvariantChecker:
         max_stage = 0
         exhausted_seen = False
         evicted_segments: Set[int] = set()
+        pending_vote: Optional[TraceEvent] = None
+        forward_recovered: Optional[TraceEvent] = None
 
         for event in events:
             kind = event.kind
@@ -182,6 +198,27 @@ class InvariantChecker:
                         f"executor charged {total!r} — "
                         f"{charged - total:+.6g} cycles unattributed",
                         event)
+
+            # -- (k) vote quorum ----------------------------------------
+            if kind == VOTE:
+                quorum = event.payload.get("quorum")
+                if (quorum is not None and int(quorum) < 2
+                        and pending_vote is None):
+                    pending_vote = event
+            elif kind in (ERROR, APP_TERMINATE) and pending_vote is not None:
+                pending_vote = None
+
+            # -- (l) no rollback after forward recovery -----------------
+            if kind == FORWARD_RECOVERY:
+                if forward_recovered is None:
+                    forward_recovered = event
+            elif kind == ROLLBACK and forward_recovered is not None:
+                self._violate(
+                    "forward_recovery",
+                    f"rollback at segment {event.segment} after forward "
+                    f"recovery adopted the majority state at segment "
+                    f"{forward_recovered.segment} — committed output "
+                    f"would be re-executed", event)
 
             # -- (f) integrity: no rollback after an integrity failure --
             if kind == INTEGRITY_FAIL:
@@ -283,6 +320,14 @@ class InvariantChecker:
                         "segment_completion",
                         f"READY segments never reached a terminal state: "
                         f"{unfinished}")
+            # (k) a quorum-1 vote with no subsequent fail-stop
+            if pending_vote is not None:
+                self._violate(
+                    "vote_quorum",
+                    f"vote at segment {pending_vote.segment} had quorum "
+                    f"{pending_vote.payload.get('quorum')} (< 2) but no "
+                    f"error or termination followed — an unverified "
+                    f"segment was admitted", pending_vote)
 
         # (e) rolled-back output must have been truncated
         if self.recovery:

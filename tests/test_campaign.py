@@ -318,3 +318,86 @@ class TestFleetReport:
         assert "0.0%" not in row
         assert row.rstrip().endswith("4")       # the missed column
         assert "overall" not in text            # nothing to aggregate
+
+
+class TestModeMatrix:
+    """Detection modes routed through the sharded campaign engine.
+
+    RAFT (and every other registered mode) must compose with sharding:
+    the mode only decides per-run detection policy, the engine only
+    decides scheduling, and the matrix of (mode x shards) must produce
+    identical per-task results however the plan is sharded.
+    """
+
+    WORKLOAD = """
+    global data[256];
+    func main() {
+        var i; var round;
+        for (round = 0; round < 6; round = round + 1) {
+            for (i = 0; i < 256; i = i + 1) {
+                data[i] = data[i] * 3 + round + i;
+            }
+            print_int(data[round] % 1000003);
+        }
+    }
+    """
+
+    @staticmethod
+    def _run_mode_task(task):
+        from repro.core import Parallaft
+        from repro.minic import compile_source
+        from repro.modes import get_mode
+        from repro.sim import apple_m2
+
+        mode = get_mode(task.payload["mode"])
+        config = mode.make_config()
+        if mode.slices:
+            config.slicing_period = 30_000_000
+        runtime = Parallaft(compile_source(TestModeMatrix.WORKLOAD),
+                            config=config, platform=apple_m2(),
+                            seed=task.seed % (1 << 31))
+        stats = runtime.run()
+        return {
+            "mode": task.payload["mode"],
+            "seed": task.seed,
+            "exit_code": stats.exit_code,
+            "stdout": stats.stdout,
+            "error": stats.error_detected,
+            "segments_checked": stats.segments_checked,
+            "votes": stats.tmr_votes,
+        }
+
+    def _matrix(self, shards, workers=0):
+        from repro.modes import registered_modes
+        modes = registered_modes()
+        payloads = [{"mode": m} for m in modes for _ in range(2)]
+        seeds = list(range(11, 11 + len(payloads)))
+        result = CampaignEngine(self._run_mode_task, payloads,
+                                seeds=seeds, shards=shards,
+                                workers=workers).run()
+        return {(r.result["mode"], r.result["seed"]): r.result
+                for r in result.records}
+
+    def test_raft_by_shards_matrix_is_shard_invariant(self):
+        """The same (mode, seed) cell must be byte-identical whether the
+        engine runs one shard or three."""
+        one = self._matrix(shards=1)
+        three = self._matrix(shards=3)
+        assert one == three
+        raft_cells = [v for (m, _), v in one.items() if m == "raft"]
+        assert len(raft_cells) == 2
+        for cell in raft_cells:
+            assert cell["exit_code"] == 0 and not cell["error"]
+            # RAFT records exactly one segment; no slicing happened.
+            assert cell["segments_checked"] == 1
+            assert cell["votes"] == 0
+
+    def test_every_mode_clean_through_engine(self):
+        cells = self._matrix(shards=2)
+        assert {m for m, _ in cells} == {"parallaft", "raft", "tmr"}
+        stdouts = {v["stdout"] for v in cells.values()}
+        assert len(stdouts) == 1        # same program, same output
+        for (mode, _), cell in cells.items():
+            assert cell["exit_code"] == 0 and not cell["error"]
+            if mode == "tmr":
+                assert cell["votes"] == cell["segments_checked"] > 0

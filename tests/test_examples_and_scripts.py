@@ -69,3 +69,16 @@ class TestExamples:
         result = run_example("slicing_tradeoff.py", "sjeng", timeout=400)
         assert result.returncode == 0, result.stderr
         assert "sweet spot" in result.stdout
+
+    def test_modes_demo(self):
+        result = run_example("modes_demo.py", "--injections", "2",
+                             timeout=480)
+        assert result.returncode == 0, result.stderr
+        assert "registered detection modes: parallaft, raft, tmr" \
+            in result.stdout
+        # The cross-mode table and both headline guarantees.
+        assert "detection modes, identical injection plan" in result.stdout
+        assert "fwd-rec" in result.stdout
+        assert "TMR detected every fault Parallaft detected: True" \
+            in result.stdout
+        assert "TMR rollbacks: 0" in result.stdout

@@ -338,6 +338,11 @@ class TestRunStatsView:
             "counter.recovery.rollbacks": stats.recovery_rollbacks,
             "counter.recovery.retries": stats.recovery_retries,
             "counter.recovery.wasted_cycles": stats.recovery_wasted_cycles,
+            "counter.tmr.votes": stats.tmr_votes,
+            "counter.tmr.outvoted": stats.tmr_outvoted,
+            "counter.tmr.forward_recoveries": stats.tmr_forward_recoveries,
+            "counter.meek.early_checks": stats.meek_early_checks,
+            "counter.meek.early_detections": stats.meek_early_detections,
             "counter.integrity.checks": stats.integrity_checks,
             "counter.integrity.failures": stats.integrity_failures,
             "counter.pressure.stalls": stats.pressure_stalls,

@@ -136,3 +136,46 @@ class TestPhaseBreakdown:
         assert sum(components.values()) == 651.0
         text = render_phase_breakdown({"x": profile})
         assert "65.1" in text.splitlines()[-1]
+
+
+class TestVoteColumn:
+    """The TMR vote phase in the phase-breakdown table."""
+
+    def profile(self, **cycles):
+        full = {MAIN_EXEC: 1000.0}
+        full.update(cycles)
+        return PhaseProfile(cycles=full, total_cycles=sum(full.values()))
+
+    def test_vote_column_present_and_renders(self):
+        from repro.metrics import VOTE
+        text = render_phase_breakdown({"tmr-run": self.profile(
+            **{VOTE: 50.0})})
+        header = text.splitlines()[1]
+        assert "vote" in header
+        assert "5.0" in text.splitlines()[-1]
+
+    def test_vote_column_na_for_non_tmr(self):
+        """Parallaft/RAFT never vote: the cell must be the NA
+        placeholder, not 0.0."""
+        text = render_phase_breakdown({"para-run": self.profile(
+            comparison=250.0)})
+        header, _, row = text.splitlines()[1:4]
+        vote_at = header.index("vote")
+        assert row[vote_at:vote_at + len("vote")].strip() in ("", NA)
+
+
+class TestRunStatsModeCounters:
+    def test_tmr_and_meek_counters_surface(self):
+        from repro.core.stats import RunStats
+        stats = RunStats()
+        stats.tmr_votes = 12
+        stats.tmr_forward_recoveries = 1
+        stats.meek_early_checks = 24
+        from repro.harness.report import render_run_stats
+        text = render_run_stats(stats)
+        assert "counter.tmr.votes" in text
+        assert "counter.tmr.forward_recoveries" in text
+        assert "counter.meek.early_checks" in text
+        # Zero-valued mode counters stay hidden (they'd be noise for
+        # every non-TMR run).
+        assert "counter.tmr.outvoted" not in text
